@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 11: impact of the greedy candidate-selection scheme across
+ * iteration counts M in {n, 3/4n, 1/2n, 1/4n, 1/8n}.
+ *
+ * Panel (a): end-to-end task metric. Panel (b): number of selected
+ * candidates normalized to n. Post-scoring is disabled so the sweep
+ * isolates candidate selection, matching the paper's methodology.
+ */
+
+#include "bench_common.hpp"
+#include "harness/accuracy.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace a3;
+
+    // Paper values for panel (a), per workload, in sweep order
+    // {no-approx, M=n, 3/4n, 1/2n, 1/4n, 1/8n} (Figure 11a labels).
+    const double paperMetric[3][6] = {
+        {0.826, 0.827, 0.825, 0.815, 0.780, 0.730},
+        {0.620, 0.621, 0.620, 0.601, 0.567, 0.545},
+        {0.888, 0.890, 0.884, 0.889, 0.879, 0.824},
+    };
+    const double fractions[] = {1.0, 0.75, 0.5, 0.25, 0.125};
+    const char *labels[] = {"M=n", "M=3/4n", "M=1/2n", "M=1/4n",
+                            "M=1/8n"};
+
+    const auto workloads = makeAllWorkloads();
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload &w = *workloads[wi];
+        const std::size_t episodes = bench::episodesFor(w);
+
+        Table table("Figure 11 (" + w.name() + ", metric: " +
+                    w.metricName() + ")");
+        table.setHeader({"config", "metric", "paper",
+                         "norm. candidates (11b)"});
+
+        EngineConfig exact;
+        exact.kind = EngineKind::ExactFloat;
+        const AccuracyReport base =
+            evaluateAccuracy(w, exact, episodes, bench::benchSeed);
+        table.addRow({"No Approximation", Table::num(base.metric),
+                      Table::num(paperMetric[wi][0]), "1.000"});
+
+        for (std::size_t f = 0; f < 5; ++f) {
+            EngineConfig cfg;
+            cfg.kind = EngineKind::ApproxFloat;
+            cfg.approx = ApproxConfig();
+            cfg.approx.mFraction = fractions[f];
+            cfg.approx.postScoring = false;
+            const AccuracyReport r =
+                evaluateAccuracy(w, cfg, episodes, bench::benchSeed);
+            table.addRow({labels[f], Table::num(r.metric),
+                          Table::num(paperMetric[wi][f + 1]),
+                          Table::num(r.normalizedCandidates)});
+        }
+        table.print();
+    }
+    return 0;
+}

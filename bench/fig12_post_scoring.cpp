@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 12: impact of post-scoring selection across thresholds
+ * T in {1, 2.5, 5, 10, 20}% of the maximum post-softmax weight.
+ *
+ * Candidate selection is disabled so the sweep isolates post-scoring.
+ * Panel (a): task metric. Panel (b): kept entries normalized to n.
+ */
+
+#include "bench_common.hpp"
+#include "harness/accuracy.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace a3;
+
+    // Paper values: {no-approx, T=1, 2.5, 5, 10, 20}% (Figure 12a).
+    const double paperMetric[3][6] = {
+        {0.826, 0.827, 0.826, 0.826, 0.826, 0.825},
+        {0.620, 0.621, 0.622, 0.624, 0.626, 0.629},
+        {0.888, 0.889, 0.887, 0.885, 0.867, 0.841},
+    };
+    const double thresholds[] = {1.0, 2.5, 5.0, 10.0, 20.0};
+
+    const auto workloads = makeAllWorkloads();
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload &w = *workloads[wi];
+        const std::size_t episodes = bench::episodesFor(w);
+
+        Table table("Figure 12 (" + w.name() + ", metric: " +
+                    w.metricName() + ")");
+        table.setHeader(
+            {"config", "metric", "paper", "norm. entries (12b)"});
+
+        EngineConfig exact;
+        exact.kind = EngineKind::ExactFloat;
+        const AccuracyReport base =
+            evaluateAccuracy(w, exact, episodes, bench::benchSeed);
+        table.addRow({"No Approximation", Table::num(base.metric),
+                      Table::num(paperMetric[wi][0]), "1.000"});
+
+        for (std::size_t t = 0; t < 5; ++t) {
+            EngineConfig cfg;
+            cfg.kind = EngineKind::ApproxFloat;
+            cfg.approx = ApproxConfig();
+            cfg.approx.candidateSelection = false;
+            cfg.approx.thresholdPercent = thresholds[t];
+            const AccuracyReport r =
+                evaluateAccuracy(w, cfg, episodes, bench::benchSeed);
+            table.addRow({"T=" + Table::num(thresholds[t], 1) + "%",
+                          Table::num(r.metric),
+                          Table::num(paperMetric[wi][t + 1]),
+                          Table::num(r.normalizedKept)});
+        }
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 13: the combined approximation scheme — conservative
+ * (M = n/2, T = 5%) and aggressive (M = n/8, T = 10%).
+ *
+ * Panel (a): task metric per configuration. Panel (b): portion of the
+ * true top-2 (bAbI) / top-5 (others) entries still selected.
+ */
+
+#include "bench_common.hpp"
+#include "harness/accuracy.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace a3;
+
+    // Paper values {base, conservative, aggressive} (Figure 13a).
+    const double paperMetric[3][3] = {
+        {0.826, 0.816, 0.730},
+        {0.620, 0.604, 0.545},
+        {0.888, 0.875, 0.805},
+    };
+
+    const auto workloads = makeAllWorkloads();
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload &w = *workloads[wi];
+        const std::size_t episodes = bench::episodesFor(w);
+
+        Table table("Figure 13 (" + w.name() + ", metric: " +
+                    w.metricName() + ", top-" +
+                    std::to_string(w.recallTopK()) + " recall)");
+        table.setHeader({"config", "metric", "paper",
+                         "top-k recall (13b)", "C/n", "K/n"});
+
+        const struct
+        {
+            const char *label;
+            EngineConfig cfg;
+        } configs[] = {
+            {"Base A3 (exact)",
+             {EngineKind::ExactFloat, ApproxConfig::exact(), 4, 4}},
+            {"Approx A3 (conservative)",
+             {EngineKind::ApproxFloat, ApproxConfig::conservative(), 4,
+              4}},
+            {"Approx A3 (aggressive)",
+             {EngineKind::ApproxFloat, ApproxConfig::aggressive(), 4,
+              4}},
+        };
+
+        for (std::size_t c = 0; c < 3; ++c) {
+            const AccuracyReport r = evaluateAccuracy(
+                w, configs[c].cfg, episodes, bench::benchSeed);
+            table.addRow({configs[c].label, Table::num(r.metric),
+                          Table::num(paperMetric[wi][c]),
+                          Table::num(r.recall),
+                          Table::num(r.normalizedCandidates),
+                          Table::num(r.normalizedKept)});
+        }
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 14: normalized throughput and latency of an attention
+ * operation across CPU, GPU, base A3, and the two approximate A3
+ * configurations, per workload.
+ *
+ * Throughput (panel a) is normalized to the CPU, with the ratio to
+ * base A3 shown alongside (the paper annotates the bars with the
+ * base-A3-normalized values). Latency (panel b) is normalized to base
+ * A3. BERT's approximate configurations include the amortized key-
+ * sorting preprocessing overhead, as in Section VI-C.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "harness/performance.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace a3;
+
+    // Paper's base-A3-normalized throughput annotations (Figure 14a):
+    // {base, conservative, aggressive}.
+    const double paperThroughput[3][3] = {
+        {1.0, 1.39, 2.62},
+        {1.0, 2.01, 7.03},
+        {1.0, 1.85, 5.69},
+    };
+
+    const auto workloads = makeAllWorkloads();
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload &w = *workloads[wi];
+        PerfOptions opts;
+        opts.episodes = w.selfAttention() ? 4 : 16;
+        opts.queriesPerEpisode = 16;
+        opts.seed = bench::benchSeed;
+        const auto rows = evaluatePerformance(w, opts);
+
+        const double cpuOps = rows[0].opsPerSecond;
+        const double baseOps = rows[2].opsPerSecond;
+        const double baseLat = rows[2].latencySeconds;
+
+        Table table("Figure 14 (" + w.name() + ")");
+        table.setHeader({"device", "Mops/s", "vs CPU (14a)",
+                         "vs BaseA3", "paper", "latency us",
+                         "vs BaseA3 (14b)"});
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const PerfResult &r = rows[i];
+            if (!r.available) {
+                table.addRow({r.device, "-", "model not available",
+                              "-", "-", "-", "-"});
+                continue;
+            }
+            std::string paper = "-";
+            if (i >= 2)
+                paper = Table::ratio(paperThroughput[wi][i - 2]);
+            table.addRow(
+                {r.device, Table::num(r.opsPerSecond / 1e6, 3),
+                 Table::ratio(r.opsPerSecond / cpuOps, 1),
+                 Table::ratio(r.opsPerSecond / baseOps),
+                 paper, Table::num(r.latencySeconds * 1e6, 3),
+                 Table::ratio(r.latencySeconds / baseLat)});
+        }
+        table.print();
+
+        if (w.selfAttention() && rows[1].available) {
+            const double units =
+                unitsToMatch(rows[3].opsPerSecond,
+                             rows[1].opsPerSecond);
+            std::printf("A3 units (conservative) to match the GPU on "
+                        "%s: %.1f (paper: 6-7)\n\n",
+                        w.name().c_str(), units);
+        }
+    }
+    return 0;
+}

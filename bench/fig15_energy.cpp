@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 15: energy efficiency (attention operations per joule,
+ * normalized to the CPU) and the per-module energy breakdown.
+ *
+ * A3 energy combines Table I power constants with simulated per-module
+ * activity; CPU/GPU energy assumes TDP over the modeled runtime, as
+ * Section VI-D does.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "harness/performance.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace a3;
+
+    // Paper's base-A3-normalized efficiency annotations (Figure 15a):
+    // {base, conservative, aggressive}.
+    const double paperEff[3][3] = {
+        {1.0, 1.4, 2.99},
+        {1.0, 2.89, 9.86},
+        {1.0, 3.74, 11.65},
+    };
+
+    const auto workloads = makeAllWorkloads();
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload &w = *workloads[wi];
+        PerfOptions opts;
+        opts.episodes = w.selfAttention() ? 4 : 16;
+        opts.queriesPerEpisode = 16;
+        opts.seed = bench::benchSeed;
+        const auto rows = evaluatePerformance(w, opts);
+
+        const double cpuEff = 1.0 / rows[0].energyPerOpJ;
+        const double baseEff = 1.0 / rows[2].energyPerOpJ;
+
+        Table table("Figure 15a (" + w.name() + "): ops/joule");
+        table.setHeader({"device", "nJ/op", "ops/J vs CPU",
+                         "vs BaseA3", "paper"});
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const PerfResult &r = rows[i];
+            if (!r.available) {
+                table.addRow(
+                    {r.device, "-", "model not available", "-", "-"});
+                continue;
+            }
+            const double eff = 1.0 / r.energyPerOpJ;
+            std::string paper = "-";
+            if (i >= 2)
+                paper = Table::ratio(paperEff[wi][i - 2]);
+            table.addRow({r.device, Table::num(r.energyPerOpJ * 1e9),
+                          Table::ratio(eff / cpuEff, 1),
+                          Table::ratio(eff / baseEff), paper});
+        }
+        table.print();
+
+        Table split("Figure 15b (" + w.name() +
+                    "): A3 energy breakdown");
+        split.setHeader({"config", "cand.sel", "dot", "exp(+PS)",
+                         "output", "memory"});
+        for (std::size_t i = 2; i < rows.size(); ++i) {
+            const auto f = rows[i].breakdown.fractions();
+            split.addRow({rows[i].device, Table::percent(f[0]),
+                          Table::percent(f[1]), Table::percent(f[2]),
+                          Table::percent(f[3]), Table::percent(f[4])});
+        }
+        split.print();
+    }
+
+    std::printf("Paper claims: >10^4x CPU and >10^3x GPU efficiency; "
+                "base A3 dominated by output computation,\napprox A3 "
+                "by candidate selection (Section VI-D).\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the software kernels: exact
+ * attention, the two greedy-search implementations, preprocessing,
+ * and the bit-accurate fixed-point pipeline.
+ *
+ * These support the complexity claims of Section IV: the efficient
+ * greedy search's query-time cost scales with M (not n*d), while the
+ * base form pays the full O(nd log nd) sort.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "attention/approx_attention.hpp"
+#include "attention/candidate_search.hpp"
+#include "attention/quantized.hpp"
+#include "attention/reference.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace a3;
+
+struct Fixture
+{
+    Matrix key;
+    Matrix value;
+    Vector query;
+    SortedKey sorted;
+};
+
+Fixture
+makeFixture(std::size_t n, std::size_t d)
+{
+    Rng rng(42);
+    Fixture f;
+    f.key = Matrix(n, d);
+    f.value = Matrix(n, d);
+    f.query.resize(d);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            f.key(r, c) = static_cast<float>(rng.normal());
+            f.value(r, c) = static_cast<float>(rng.normal());
+        }
+    }
+    for (auto &x : f.query)
+        x = static_cast<float>(rng.normal());
+    f.sorted = SortedKey::build(f.key);
+    return f;
+}
+
+void
+BM_ReferenceAttention(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fixture f = makeFixture(n, 64);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            referenceAttention(f.key, f.value, f.query));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReferenceAttention)->Arg(20)->Arg(186)->Arg(320);
+
+void
+BM_BaseGreedySearch(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fixture f = makeFixture(n, 64);
+    const std::size_t m = n / 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            baseGreedySearch(f.key, f.query, m));
+    }
+}
+BENCHMARK(BM_BaseGreedySearch)->Arg(20)->Arg(186)->Arg(320);
+
+void
+BM_EfficientGreedySearch(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fixture f = makeFixture(n, 64);
+    const std::size_t m = n / 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            efficientGreedySearch(f.sorted, f.query, m));
+    }
+}
+BENCHMARK(BM_EfficientGreedySearch)->Arg(20)->Arg(186)->Arg(320);
+
+void
+BM_SortedKeyPreprocess(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fixture f = makeFixture(n, 64);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(SortedKey::build(f.key));
+}
+BENCHMARK(BM_SortedKeyPreprocess)->Arg(320);
+
+void
+BM_ApproxAttentionEndToEnd(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fixture f = makeFixture(n, 64);
+    const ApproxAttention engine(f.key, f.value,
+                                 ApproxConfig::conservative());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.run(f.query));
+}
+BENCHMARK(BM_ApproxAttentionEndToEnd)->Arg(186)->Arg(320);
+
+void
+BM_QuantizedPipeline(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fixture f = makeFixture(n, 64);
+    const QuantizedAttention qa(4, 4, n, 64);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(qa.run(f.key, f.value, f.query));
+}
+BENCHMARK(BM_QuantizedPipeline)->Arg(320);
+
+}  // namespace

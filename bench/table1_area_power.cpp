@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table I: area and power characteristics of A3, plus the die-size
+ * comparison against the reference CPU and GPU (Section VI-D).
+ */
+
+#include <cstdio>
+
+#include "energy/power_model.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace a3;
+
+    Table table("Table I: area and power characteristics of A3 "
+                "(TSMC 40nm, 1 GHz)");
+    table.setHeader(
+        {"module", "area (mm2)", "dynamic (mW)", "static (mW)"});
+    for (const ModulePower &m : table1::allModules()) {
+        table.addRow({m.name, Table::num(m.areaMm2, 3),
+                      Table::num(m.dynamicMw, 3),
+                      Table::num(m.staticMw, 3)});
+    }
+    const ModulePower total = table1::fullTotal();
+    table.addRow({"Total (A3)", Table::num(total.areaMm2, 3),
+                  Table::num(total.dynamicMw, 2),
+                  Table::num(total.staticMw, 3)});
+    const ModulePower base = table1::baseTotal();
+    table.addRow({"Total (base modules only)",
+                  Table::num(base.areaMm2, 3),
+                  Table::num(base.dynamicMw, 2),
+                  Table::num(base.staticMw, 3)});
+    table.print();
+
+    Table devices("Die-size comparison (Section VI-D)");
+    devices.setHeader(
+        {"device", "process", "die (mm2)", "x A3 area", "TDP (W)"});
+    for (const ReferenceDevice &dev : {xeonGold6128(), titanV()}) {
+        devices.addRow({dev.name, std::to_string(dev.processNm) + "nm",
+                        Table::num(dev.dieAreaMm2, 0),
+                        Table::ratio(dev.dieAreaMm2 / total.areaMm2, 0),
+                        Table::num(dev.tdpW, 0)});
+    }
+    devices.addRow({"A3 (this work)", "40nm",
+                    Table::num(total.areaMm2, 3), "1x",
+                    Table::num((total.dynamicMw + total.staticMw) *
+                                   1e-3,
+                               3)});
+    devices.print();
+
+    std::printf("Paper checks: 2.082 mm2 total area, <100 mW dynamic; "
+                "CPU die 156x, GPU die 391x one A3 unit.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * BERT-style self-attention on the simulated A3 device.
+ *
+ * Self-attention reuses one key matrix for all 320 token queries,
+ * which is what amortizes A3's sorted-key preprocessing (Section
+ * IV-A). This example loads a SQuAD-like episode into a simulated
+ * approximate A3 unit, streams all 320 queries through the pipeline,
+ * and reports throughput, latency, and how many rows each pipeline
+ * stage actually touched.
+ */
+
+#include <cstdio>
+
+#include "sim/accelerator.hpp"
+#include "workloads/squad_like.hpp"
+
+int
+main()
+{
+    using namespace a3;
+
+    SquadLikeWorkload workload;
+    Rng rng(13);
+    const AttentionTask task = workload.sample(rng);
+    const std::size_t n = task.key.rows();
+
+    for (const auto &[label, mode, approx] :
+         {std::tuple{"base A3", A3Mode::Base, ApproxConfig::exact()},
+          std::tuple{"approx A3 (conservative)", A3Mode::Approx,
+                     ApproxConfig::conservative()}}) {
+        SimConfig cfg;
+        cfg.maxRows = 320;
+        cfg.dims = 64;
+        cfg.mode = mode;
+        cfg.approx = approx;
+
+        A3Accelerator acc(cfg);
+        acc.loadTask(task.key, task.value);
+        const RunStats stats = acc.runAll(task.queries);
+
+        std::printf("%s:\n", label);
+        std::printf("  %llu queries over one shared %zu x 64 key "
+                    "matrix\n",
+                    static_cast<unsigned long long>(stats.queries), n);
+        std::printf("  throughput: %.2f cycles/query "
+                    "(%.2f Mqueries/s @1GHz)\n",
+                    stats.cyclesPerQuery,
+                    1e3 / stats.cyclesPerQuery);
+        std::printf("  pipeline latency: %.0f cycles\n",
+                    stats.avgLatency);
+        if (mode == A3Mode::Approx) {
+            std::printf("  avg candidates C = %.1f of %zu, kept "
+                        "K = %.1f\n",
+                        stats.avgCandidates, n, stats.avgKept);
+        }
+        for (const Stage *stage : acc.stages()) {
+            std::printf("  stage %-20s rows processed: %llu\n",
+                        stage->name().c_str(),
+                        static_cast<unsigned long long>(
+                            stage->stats().rowOps));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("The sorted-key preprocessing is built once per "
+                "sequence and reused by all %zu\nqueries; Section VI-C "
+                "charges ~7%% amortized overhead to the conservative\n"
+                "configuration, which bench/fig14_performance "
+                "reproduces.\n",
+                n);
+    return 0;
+}

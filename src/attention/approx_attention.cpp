@@ -1,0 +1,92 @@
+#include "attention/approx_attention.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "attention/post_scoring.hpp"
+#include "attention/reference.hpp"
+#include "util/logging.hpp"
+
+namespace a3 {
+
+ApproxAttention::ApproxAttention(Matrix key, Matrix value,
+                                 ApproxConfig config)
+    : key_(std::move(key)), value_(std::move(value)),
+      config_(config)
+{
+    a3Assert(key_.rows() == value_.rows() &&
+                 key_.cols() == value_.cols(),
+             "key/value shape mismatch");
+    a3Assert(key_.rows() > 0 && key_.cols() > 0,
+             "attention task must be non-empty");
+    if (config_.candidateSelection)
+        sorted_ = SortedKey::build(key_);
+}
+
+CandidateSearchResult
+ApproxAttention::selectCandidates(const Vector &query) const
+{
+    a3Assert(config_.candidateSelection,
+             "candidate selection disabled in this configuration");
+    return efficientGreedySearch(sorted_, query,
+                                 config_.iterationsFor(key_.rows()),
+                                 config_.skipHeuristic);
+}
+
+AttentionResult
+ApproxAttention::run(const Vector &query) const
+{
+    a3Assert(query.size() == key_.cols(), "query dimension mismatch");
+    const std::size_t n = key_.rows();
+
+    // Stage 1: candidate selection.
+    std::vector<std::uint32_t> candidates;
+    std::size_t iterations = 0;
+    if (config_.candidateSelection) {
+        CandidateSearchResult search = selectCandidates(query);
+        iterations = config_.iterationsFor(n);
+        candidates = std::move(search.candidates);
+        if (candidates.empty()) {
+            // Degenerate case (all products non-positive): keep the row
+            // with the largest greedy score so the softmax stays
+            // well-defined; the paper's skip heuristic makes this rare.
+            const auto best = std::max_element(
+                search.greedyScore.begin(), search.greedyScore.end());
+            candidates.push_back(static_cast<std::uint32_t>(
+                best - search.greedyScore.begin()));
+        }
+    } else {
+        candidates.resize(n);
+        std::iota(candidates.begin(), candidates.end(), 0u);
+    }
+
+    // Stage 2: exact dot products for the candidates.
+    Vector candidateScores(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        candidateScores[i] = dot(key_.row(candidates[i]),
+                                 std::span<const float>(query));
+    }
+
+    // Stage 3: post-scoring selection.
+    std::vector<std::uint32_t> kept;
+    if (config_.postScoring) {
+        kept = postScoringSelect(candidates, candidateScores,
+                                 config_.scoreGap());
+    } else {
+        kept = candidates;
+    }
+
+    // Stages 4-5: softmax and weighted sum over the kept rows.
+    AttentionResult result =
+        subsetAttention(key_, value_, query, kept);
+    result.candidates = std::move(candidates);
+    result.kept = std::move(kept);
+    result.iterations = iterations;
+    // subsetAttention() only filled scores for kept rows; also record
+    // the candidate scores that post-scoring inspected.
+    for (std::size_t i = 0; i < result.candidates.size(); ++i)
+        result.scores[result.candidates[i]] = candidateScores[i];
+    return result;
+}
+
+}  // namespace a3

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * End-to-end approximate attention (Sections IV and V, software model).
+ *
+ * Pipeline: greedy candidate selection over the pre-sorted key matrix,
+ * exact dot products for the C surviving candidates, post-scoring
+ * selection down to K rows, softmax over those K scores, and the
+ * weighted sum of the K value rows. Setting both stages off reproduces
+ * exact attention bit-for-bit.
+ */
+
+#ifndef A3_ATTENTION_APPROX_ATTENTION_HPP
+#define A3_ATTENTION_APPROX_ATTENTION_HPP
+
+#include "attention/candidate_search.hpp"
+#include "attention/config.hpp"
+#include "attention/sorted_key.hpp"
+#include "attention/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/**
+ * Holds one key/value pair plus its preprocessed (column-sorted) key and
+ * answers queries with configurable approximation. The preprocessing in
+ * the constructor models comprehension-time work; run() models the
+ * query-response critical path.
+ */
+class ApproxAttention
+{
+  public:
+    /**
+     * Preprocess and retain the task matrices.
+     *
+     * @param key n x d key matrix.
+     * @param value n x d value matrix.
+     * @param config approximation knobs (M, T, stage enables).
+     */
+    ApproxAttention(Matrix key, Matrix value, ApproxConfig config);
+
+    /** Answer one query. */
+    AttentionResult run(const Vector &query) const;
+
+    /** Candidate search only (exposed for Figure 11 sweeps). */
+    CandidateSearchResult selectCandidates(const Vector &query) const;
+
+    const ApproxConfig &config() const { return config_; }
+    const SortedKey &sortedKey() const { return sorted_; }
+    const Matrix &key() const { return key_; }
+    const Matrix &value() const { return value_; }
+    std::size_t rows() const { return key_.rows(); }
+    std::size_t dims() const { return key_.cols(); }
+
+  private:
+    Matrix key_;
+    Matrix value_;
+    ApproxConfig config_;
+    SortedKey sorted_;
+};
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_APPROX_ATTENTION_HPP

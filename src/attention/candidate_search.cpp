@@ -1,0 +1,235 @@
+#include "attention/candidate_search.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+namespace {
+
+/** One element-wise product tagged with its matrix coordinates. */
+struct Product
+{
+    double score;
+    std::uint32_t rowId;
+    std::uint32_t colId;
+};
+
+/** Collect rows whose accumulated greedy score ended up positive. */
+std::vector<std::uint32_t>
+positiveRows(const std::vector<double> &greedy)
+{
+    std::vector<std::uint32_t> rows;
+    for (std::size_t r = 0; r < greedy.size(); ++r) {
+        if (greedy[r] > 0.0)
+            rows.push_back(static_cast<std::uint32_t>(r));
+    }
+    return rows;
+}
+
+CandidateSearchResult
+finalize(const std::vector<double> &greedy, std::size_t maxPops,
+         std::size_t minPops, std::size_t skipped)
+{
+    CandidateSearchResult out;
+    out.candidates = positiveRows(greedy);
+    out.greedyScore.assign(greedy.begin(), greedy.end());
+    out.maxPops = maxPops;
+    out.minPops = minPops;
+    out.skippedMinOps = skipped;
+    return out;
+}
+
+}  // namespace
+
+CandidateSearchResult
+baseGreedySearch(const Matrix &key, const Vector &query,
+                 std::size_t iterations, bool skipHeuristic)
+{
+    a3Assert(query.size() == key.cols(), "query dimension mismatch");
+    const std::size_t n = key.rows();
+    const std::size_t d = key.cols();
+
+    // Materialize the full element-wise product matrix (Figure 6) and
+    // derive two total orders over it. This is the O(nd log nd)
+    // conceptual algorithm; efficientGreedySearch() is the fast twin.
+    std::vector<Product> products;
+    products.reserve(n * d);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        for (std::uint32_t c = 0; c < d; ++c) {
+            products.push_back(
+                {static_cast<double>(key(r, c)) *
+                     static_cast<double>(query[c]),
+                 r, c});
+        }
+    }
+
+    std::vector<Product> maxOrder = products;
+    std::sort(maxOrder.begin(), maxOrder.end(),
+              [](const Product &a, const Product &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.colId < b.colId;
+              });
+    std::vector<Product> minOrder = std::move(products);
+    std::sort(minOrder.begin(), minOrder.end(),
+              [](const Product &a, const Product &b) {
+                  if (a.score != b.score)
+                      return a.score < b.score;
+                  return a.colId < b.colId;
+              });
+
+    std::vector<double> greedy(n, 0.0);
+    double cumulative = 0.0;
+    std::size_t maxIdx = 0;
+    std::size_t minIdx = 0;
+    std::size_t maxPops = 0;
+    std::size_t minPops = 0;
+    std::size_t skipped = 0;
+
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+        if (maxIdx >= maxOrder.size() && minIdx >= minOrder.size())
+            break;
+        if (maxIdx < maxOrder.size()) {
+            const Product &p = maxOrder[maxIdx++];
+            ++maxPops;
+            cumulative += p.score;
+            if (p.score > 0.0)
+                greedy[p.rowId] += p.score;
+        }
+        if (skipHeuristic && cumulative < 0.0) {
+            ++skipped;
+        } else if (minIdx < minOrder.size()) {
+            const Product &p = minOrder[minIdx++];
+            ++minPops;
+            cumulative += p.score;
+            if (p.score < 0.0)
+                greedy[p.rowId] += p.score;
+        }
+    }
+    return finalize(greedy, maxPops, minPops, skipped);
+}
+
+namespace {
+
+/** Priority-queue element: a product plus its sorted-column position. */
+struct HeapEntry
+{
+    double score;
+    std::uint32_t rowId;
+    std::uint32_t colId;
+    std::int64_t pos;  ///< position inside the sorted column
+};
+
+/** Orders the max queue: larger score first, smaller column on ties. */
+struct MaxQueueLess
+{
+    bool
+    operator()(const HeapEntry &a, const HeapEntry &b) const
+    {
+        if (a.score != b.score)
+            return a.score < b.score;
+        return a.colId > b.colId;
+    }
+};
+
+/** Orders the min queue: smaller score first, smaller column on ties. */
+struct MinQueueLess
+{
+    bool
+    operator()(const HeapEntry &a, const HeapEntry &b) const
+    {
+        if (a.score != b.score)
+            return a.score > b.score;
+        return a.colId > b.colId;
+    }
+};
+
+}  // namespace
+
+CandidateSearchResult
+efficientGreedySearch(const SortedKey &sortedKey, const Vector &query,
+                      std::size_t iterations, bool skipHeuristic)
+{
+    a3Assert(query.size() == sortedKey.cols(),
+             "query dimension mismatch");
+    const std::size_t n = sortedKey.rows();
+    const std::size_t d = sortedKey.cols();
+    a3Assert(n > 0, "candidate search over empty key matrix");
+
+    using MaxQueue = std::priority_queue<HeapEntry,
+                                         std::vector<HeapEntry>,
+                                         MaxQueueLess>;
+    using MinQueue = std::priority_queue<HeapEntry,
+                                         std::vector<HeapEntry>,
+                                         MinQueueLess>;
+    MaxQueue maxQ;
+    MinQueue minQ;
+
+    // Traversal direction per column: the max pointer starts at the
+    // largest product and walks toward smaller products; the min pointer
+    // is its mirror (Figure 7, pointer initialization).
+    std::vector<int> maxDir(d);
+    std::vector<int> minDir(d);
+    auto makeEntry = [&](std::size_t col, std::int64_t pos) {
+        const SortedKeyEntry &e =
+            sortedKey.at(static_cast<std::size_t>(pos), col);
+        return HeapEntry{static_cast<double>(e.val) *
+                             static_cast<double>(query[col]),
+                         e.rowId, static_cast<std::uint32_t>(col), pos};
+    };
+    for (std::size_t c = 0; c < d; ++c) {
+        const bool positiveQuery = query[c] > 0.0f;
+        maxDir[c] = positiveQuery ? -1 : +1;
+        minDir[c] = -maxDir[c];
+        const std::int64_t maxStart =
+            positiveQuery ? static_cast<std::int64_t>(n) - 1 : 0;
+        const std::int64_t minStart =
+            positiveQuery ? 0 : static_cast<std::int64_t>(n) - 1;
+        maxQ.push(makeEntry(c, maxStart));
+        minQ.push(makeEntry(c, minStart));
+    }
+
+    std::vector<double> greedy(n, 0.0);
+    double cumulative = 0.0;
+    std::size_t maxPops = 0;
+    std::size_t minPops = 0;
+    std::size_t skipped = 0;
+
+    auto advance = [&](auto &queue, const HeapEntry &popped,
+                       const std::vector<int> &dir) {
+        const std::int64_t next = popped.pos + dir[popped.colId];
+        if (next >= 0 && next < static_cast<std::int64_t>(n))
+            queue.push(makeEntry(popped.colId, next));
+    };
+
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+        if (maxQ.empty() && minQ.empty())
+            break;
+        if (!maxQ.empty()) {
+            const HeapEntry popped = maxQ.top();
+            maxQ.pop();
+            ++maxPops;
+            cumulative += popped.score;
+            if (popped.score > 0.0)
+                greedy[popped.rowId] += popped.score;
+            advance(maxQ, popped, maxDir);
+        }
+        if (skipHeuristic && cumulative < 0.0) {
+            ++skipped;
+        } else if (!minQ.empty()) {
+            const HeapEntry popped = minQ.top();
+            minQ.pop();
+            ++minPops;
+            cumulative += popped.score;
+            if (popped.score < 0.0)
+                greedy[popped.rowId] += popped.score;
+            advance(minQ, popped, minDir);
+        }
+    }
+    return finalize(greedy, maxPops, minPops, skipped);
+}
+
+}  // namespace a3

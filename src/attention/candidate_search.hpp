@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Greedy candidate search (Sections IV-B and IV-C).
+ *
+ * Both variants approximate the per-row dot products by inspecting only
+ * the M globally-largest and M globally-smallest element-wise products
+ * key[i][j] * query[j]:
+ *
+ *  - baseGreedySearch() materializes the full n x d product matrix and
+ *    walks it in sorted order: O(nd log nd), the conceptual algorithm
+ *    of Figure 6.
+ *  - efficientGreedySearch() uses a pre-sorted key matrix and two
+ *    priority queues over the d column heads, so the query-time cost is
+ *    O(M log d) (Figure 7) — and O(M) with the hardware comparator tree.
+ *
+ * A popped product is accumulated into the row's greedy score only when
+ * it is positive (max side) or negative (min side); rows ending with a
+ * positive greedy score become candidates. The optional skip heuristic
+ * omits the min-side pop while the cumulative sum of popped products is
+ * negative, which avoids selecting too few candidates when overall
+ * similarity is low (end of Section IV-C).
+ *
+ * The two variants are functionally identical; a property test sweeps
+ * random instances asserting equal candidate sets and greedy scores.
+ */
+
+#ifndef A3_ATTENTION_CANDIDATE_SEARCH_HPP
+#define A3_ATTENTION_CANDIDATE_SEARCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/sorted_key.hpp"
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/** Outcome of one greedy candidate search. */
+struct CandidateSearchResult
+{
+    /** Rows with a positive final greedy score, ascending. */
+    std::vector<std::uint32_t> candidates;
+
+    /** Final greedy score per row (length n). */
+    std::vector<float> greedyScore;
+
+    /** Max-side pops performed (<= iterations). */
+    std::size_t maxPops = 0;
+
+    /** Min-side pops performed. */
+    std::size_t minPops = 0;
+
+    /** Min-side pops skipped by the cumulative-sum heuristic. */
+    std::size_t skippedMinOps = 0;
+};
+
+/**
+ * Figure 6 algorithm: sort all n*d element-wise products and take the
+ * prefix. @param iterations the user-configurable M.
+ */
+CandidateSearchResult baseGreedySearch(const Matrix &key,
+                                       const Vector &query,
+                                       std::size_t iterations,
+                                       bool skipHeuristic = true);
+
+/**
+ * Figure 7 algorithm: priority queues over pre-sorted columns.
+ * Functionally identical to baseGreedySearch().
+ */
+CandidateSearchResult efficientGreedySearch(const SortedKey &sortedKey,
+                                            const Vector &query,
+                                            std::size_t iterations,
+                                            bool skipHeuristic = true);
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_CANDIDATE_SEARCH_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Configuration of the approximate attention pipeline.
+ *
+ * M (greedy-search iteration count) and T (post-scoring threshold in
+ * percent of the maximum weight) are the two user-visible knobs of the
+ * paper. The evaluation uses two named presets:
+ *   conservative: M = n/2, T = 5%   (~1% accuracy loss)
+ *   aggressive:   M = n/8, T = 10%  (larger loss, larger speedup)
+ */
+
+#ifndef A3_ATTENTION_CONFIG_HPP
+#define A3_ATTENTION_CONFIG_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace a3 {
+
+/** Knobs for the approximate attention pipeline. */
+struct ApproxConfig
+{
+    /** Enable the greedy candidate-selection stage. */
+    bool candidateSelection = true;
+
+    /** Enable the post-scoring selection stage. */
+    bool postScoring = true;
+
+    /**
+     * Greedy iterations as a fraction of n (used when mAbsolute == 0);
+     * the paper sweeps {1, 3/4, 1/2, 1/4, 1/8}.
+     */
+    double mFraction = 0.5;
+
+    /** Absolute iteration count overriding mFraction when non-zero. */
+    std::size_t mAbsolute = 0;
+
+    /** Post-scoring threshold T in percent of the maximum weight. */
+    double thresholdPercent = 5.0;
+
+    /** Min-queue skip heuristic (Section IV-C, last paragraph). */
+    bool skipHeuristic = true;
+
+    /** Iteration count M for a task with n rows (at least 1). */
+    std::size_t iterationsFor(std::size_t n) const;
+
+    /** Score-gap threshold t = ln(100 / T). */
+    double scoreGap() const;
+
+    /** Human-readable configuration summary. */
+    std::string str() const;
+
+    /** Paper preset: M = n/2, T = 5%. */
+    static ApproxConfig conservative();
+
+    /** Paper preset: M = n/8, T = 10%. */
+    static ApproxConfig aggressive();
+
+    /** No approximation at all (base A3 behaviour). */
+    static ApproxConfig exact();
+};
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_CONFIG_HPP

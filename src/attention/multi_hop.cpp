@@ -1,0 +1,33 @@
+#include "attention/multi_hop.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+MultiHopAttention::MultiHopAttention(Matrix key, Matrix value,
+                                     ApproxConfig config,
+                                     std::size_t hopCount)
+    : engine_(std::move(key), std::move(value), config),
+      hopCount_(hopCount)
+{
+    a3Assert(hopCount_ >= 1, "multi-hop attention needs >= 1 hop");
+}
+
+MultiHopResult
+MultiHopAttention::run(const Vector &query) const
+{
+    MultiHopResult result;
+    result.hops.reserve(hopCount_);
+    Vector u = query;
+    for (std::size_t hop = 0; hop < hopCount_; ++hop) {
+        AttentionResult hopResult = engine_.run(u);
+        // MemN2N query update: u^{k+1} = u^k + o^k.
+        for (std::size_t j = 0; j < u.size(); ++j)
+            u[j] += hopResult.output[j];
+        result.hops.push_back(std::move(hopResult));
+    }
+    result.finalQuery = std::move(u);
+    return result;
+}
+
+}  // namespace a3

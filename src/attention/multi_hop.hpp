@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multi-hop attention (the MemN2N usage pattern, Section II-A).
+ *
+ * "If multiple sentences are required to answer the question, it
+ * updates the query with the relevant sentence found in the previous
+ * iteration and utilizes the attention mechanism again." End-to-End
+ * Memory Networks implement that update as u^{k+1} = u^k + o^k: the
+ * next hop's query is the previous query plus the previous attention
+ * output. Every hop reuses the same preprocessed key matrix, so the
+ * candidate-selection preprocessing is amortized across hops exactly
+ * like it is across BERT's queries.
+ */
+
+#ifndef A3_ATTENTION_MULTI_HOP_HPP
+#define A3_ATTENTION_MULTI_HOP_HPP
+
+#include <vector>
+
+#include "attention/approx_attention.hpp"
+
+namespace a3 {
+
+/** Result of a multi-hop run: every hop's result plus the final query. */
+struct MultiHopResult
+{
+    /** Per-hop attention results, in hop order. */
+    std::vector<AttentionResult> hops;
+
+    /** The query vector after the final update. */
+    Vector finalQuery;
+
+    /** Convenience: the last hop's result. */
+    const AttentionResult &finalHop() const { return hops.back(); }
+};
+
+/** Iterated attention over one preprocessed key/value task. */
+class MultiHopAttention
+{
+  public:
+    /**
+     * @param key n x d key matrix (preprocessed once).
+     * @param value n x d value matrix.
+     * @param config approximation knobs applied at every hop.
+     * @param hopCount number of hops (>= 1; MemN2N uses 3 on bAbI).
+     */
+    MultiHopAttention(Matrix key, Matrix value, ApproxConfig config,
+                      std::size_t hopCount);
+
+    /** Run all hops with the MemN2N update u^{k+1} = u^k + o^k. */
+    MultiHopResult run(const Vector &query) const;
+
+    std::size_t hopCount() const { return hopCount_; }
+    const ApproxAttention &engine() const { return engine_; }
+
+  private:
+    ApproxAttention engine_;
+    std::size_t hopCount_;
+};
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_MULTI_HOP_HPP

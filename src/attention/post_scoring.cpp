@@ -1,0 +1,51 @@
+#include "attention/post_scoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+double
+thresholdFromPercent(double tPercent)
+{
+    a3Assert(tPercent > 0.0 && tPercent <= 100.0,
+             "post-scoring T must lie in (0, 100], got ", tPercent);
+    return std::log(100.0 / tPercent);
+}
+
+double
+percentFromThreshold(double t)
+{
+    a3Assert(t >= 0.0, "post-scoring threshold t must be non-negative");
+    return 100.0 * std::exp(-t);
+}
+
+std::vector<std::uint32_t>
+postScoringSelect(const std::vector<std::uint32_t> &rows,
+                  const Vector &scores, double scoreGap)
+{
+    a3Assert(rows.size() == scores.size(),
+             "post-scoring rows/scores size mismatch");
+    a3Assert(scoreGap >= 0.0, "post-scoring gap must be non-negative");
+    if (rows.empty())
+        return {};
+
+    float best = -std::numeric_limits<float>::infinity();
+    for (float s : scores)
+        best = std::max(best, s);
+
+    std::vector<std::uint32_t> kept;
+    kept.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (static_cast<double>(best) - static_cast<double>(scores[i]) <=
+            scoreGap) {
+            kept.push_back(rows[i]);
+        }
+    }
+    return kept;
+}
+
+}  // namespace a3

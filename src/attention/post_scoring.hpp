@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Post-scoring selection (Section IV-D).
+ *
+ * After exact dot products are computed for the candidate rows, any row
+ * whose score trails the best score by more than a threshold t is
+ * dropped before softmax and the weighted sum. Because softmax uses the
+ * score as the exponent of e, a gap of t means the row's post-softmax
+ * weight would be at least e^t times smaller than the top row's. The
+ * paper parameterizes this as T = 100 / e^t, i.e. "keep a row only if
+ * its weight would be at least T percent of the maximum weight".
+ */
+
+#ifndef A3_ATTENTION_POST_SCORING_HPP
+#define A3_ATTENTION_POST_SCORING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/** Convert the paper's T (percent of max weight) to the score gap t. */
+double thresholdFromPercent(double tPercent);
+
+/** Convert a score gap t back to the paper's T in percent. */
+double percentFromThreshold(double t);
+
+/**
+ * Keep the rows whose score is within `scoreGap` of the maximum score.
+ *
+ * @param rows candidate row ids, parallel to `scores`.
+ * @param scores exact dot-product score per candidate.
+ * @param scoreGap the threshold t (use thresholdFromPercent for T%).
+ * @return surviving row ids in the same relative order as `rows`.
+ */
+std::vector<std::uint32_t>
+postScoringSelect(const std::vector<std::uint32_t> &rows,
+                  const Vector &scores, double scoreGap);
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_POST_SCORING_HPP

@@ -1,0 +1,118 @@
+#include "attention/quantized.hpp"
+
+#include <numeric>
+
+#include "fixed/value.hpp"
+#include "util/logging.hpp"
+
+namespace a3 {
+
+QuantizedAttention::QuantizedAttention(int intBits, int fracBits,
+                                       std::size_t maxRows,
+                                       std::size_t dims)
+    : formats_(PipelineFormats::derive(intBits, fracBits, maxRows, dims)),
+      lut_(2 * fracBits, 2 * fracBits),
+      maxRows_(maxRows), dims_(dims)
+{
+}
+
+AttentionResult
+QuantizedAttention::run(const Matrix &key, const Matrix &value,
+                        const Vector &query) const
+{
+    std::vector<std::uint32_t> all(key.rows());
+    std::iota(all.begin(), all.end(), 0u);
+    return run(key, value, query, all);
+}
+
+AttentionResult
+QuantizedAttention::run(const Matrix &key, const Matrix &value,
+                        const Vector &query,
+                        const std::vector<std::uint32_t> &rows) const
+{
+    a3Assert(key.rows() == value.rows() && key.cols() == value.cols(),
+             "key/value shape mismatch");
+    a3Assert(key.rows() <= maxRows_ && key.cols() == dims_,
+             "task exceeds the sized pipeline capacity (",
+             key.rows(), "x", key.cols(), " vs ", maxRows_, "x", dims_,
+             ")");
+    a3Assert(!rows.empty(), "quantized pipeline needs at least one row");
+
+    const std::size_t d = key.cols();
+    const FixedFormat inFmt = formats_.input;
+
+    // Quantize the query once (host copies the quantized vector in).
+    std::vector<std::int64_t> queryQ(d);
+    for (std::size_t j = 0; j < d; ++j)
+        queryQ[j] = inFmt.quantize(query[j]);
+
+    // --- Module 1: dot products and running max (Figure 5 lines 3-10).
+    std::vector<std::int64_t> dotQ(rows.size());
+    std::int64_t maxDot = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::uint32_t r = rows[i];
+        std::int64_t sum = 0;  // adder-tree accumulator, (2i+log2 d, 2f)
+        for (std::size_t j = 0; j < d; ++j) {
+            const std::int64_t k = inFmt.quantize(key(r, j));
+            sum += k * queryQ[j];
+        }
+        a3Assert(formats_.dotProduct.fits(sum),
+                 "dot-product stage overflow: Section III-B widths "
+                 "violated");
+        dotQ[i] = sum;
+        if (i == 0 || sum > maxDot)
+            maxDot = sum;
+    }
+
+    // --- Module 2: exponent computation (Figure 5 lines 11-16).
+    std::vector<std::int64_t> scoreQ(rows.size());
+    std::int64_t expSum = 0;  // (log2 n, 2f)
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::int64_t shifted = dotQ[i] - maxDot;  // <= 0
+        a3Assert(formats_.shiftedDot.fits(shifted),
+                 "shifted-dot stage overflow");
+        scoreQ[i] = lut_.lookup(shifted);
+        expSum += scoreQ[i];
+    }
+    a3Assert(formats_.expSum.fits(expSum), "expsum stage overflow");
+    a3Assert(expSum > 0, "expsum must be positive: the max row scores "
+                         "~1 by construction");
+
+    // --- Module 3: weights and output accumulation (lines 17-21).
+    const std::size_t n = key.rows();
+    AttentionResult result;
+    result.scores.assign(n, 0.0f);
+    result.weights.assign(n, 0.0f);
+    result.candidates = rows;
+    result.kept = rows;
+    result.output.assign(d, 0.0f);
+
+    const FixedValue expSumV{expSum, formats_.expSum};
+    std::vector<std::int64_t> outQ(d, 0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::uint32_t r = rows[i];
+        const FixedValue scoreV{scoreQ[i], formats_.score};
+        const FixedValue weightV =
+            divide(scoreV, expSumV, formats_.weight.intBits,
+                   formats_.weight.fracBits);
+        result.scores[r] =
+            static_cast<float>(formats_.dotProduct.toDouble(dotQ[i]));
+        result.weights[r] = static_cast<float>(weightV.toDouble());
+        for (std::size_t j = 0; j < d; ++j) {
+            const FixedValue valueV{inFmt.quantize(value(r, j)), inFmt};
+            const FixedValue product = mulFull(weightV, valueV);
+            // Accumulate at (i + log2 n, 3f); product already has 3f
+            // fraction bits because weight carries 2f and value f.
+            outQ[j] += product.raw;
+            a3Assert(formats_.output.fits(outQ[j]),
+                     "output stage overflow");
+        }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+        result.output[j] =
+            static_cast<float>(formats_.output.toDouble(outQ[j]));
+    }
+    return result;
+}
+
+}  // namespace a3

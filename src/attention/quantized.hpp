@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bit-accurate fixed-point model of the base A3 pipeline (Section III).
+ *
+ * This class reproduces, value for value, what the synthesized datapath
+ * computes: inputs quantized to (i, f), element products at (2i, 2f), an
+ * adder-tree dot product at (2i + log2 d, 2f), running-max subtraction,
+ * the two-half exponent LUT, a truncating divider for the weights, and
+ * the (i + log2 n, 3f) output accumulators. The cycle-level simulator
+ * reuses this model for data while adding timing; the accuracy benches
+ * use it for the Section VI-B quantization study.
+ */
+
+#ifndef A3_ATTENTION_QUANTIZED_HPP
+#define A3_ATTENTION_QUANTIZED_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/types.hpp"
+#include "fixed/exp_lut.hpp"
+#include "fixed/pipeline_formats.hpp"
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/** Fixed-point functional model of the base A3 attention pipeline. */
+class QuantizedAttention
+{
+  public:
+    /**
+     * Size the pipeline for tasks up to maxRows x dims with inputs
+     * quantized to `intBits`.`fracBits` (paper default: i = f = 4,
+     * n = 320, d = 64).
+     */
+    QuantizedAttention(int intBits, int fracBits, std::size_t maxRows,
+                       std::size_t dims);
+
+    /**
+     * Run the full pipeline over all rows of the task.
+     * Matrix shapes must be within the sized capacity.
+     */
+    AttentionResult run(const Matrix &key, const Matrix &value,
+                        const Vector &query) const;
+
+    /**
+     * Run the pipeline over a row subset (what approximate A3 feeds the
+     * base pipeline after selection). `rows` must be non-empty.
+     */
+    AttentionResult run(const Matrix &key, const Matrix &value,
+                        const Vector &query,
+                        const std::vector<std::uint32_t> &rows) const;
+
+    /** Derived per-stage formats (Section III-B). */
+    const PipelineFormats &formats() const { return formats_; }
+
+    /** The exponent lookup table pair. */
+    const ExpLut &expLut() const { return lut_; }
+
+  private:
+    PipelineFormats formats_;
+    ExpLut lut_;
+    std::size_t maxRows_;
+    std::size_t dims_;
+};
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_QUANTIZED_HPP

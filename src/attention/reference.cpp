@@ -1,0 +1,81 @@
+#include "attention/reference.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+Vector
+softmax(const Vector &input)
+{
+    a3Assert(!input.empty(), "softmax of empty vector");
+    float maxVal = -std::numeric_limits<float>::infinity();
+    for (float v : input)
+        maxVal = std::max(maxVal, v);
+    Vector out(input.size());
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        out[i] = std::exp(input[i] - maxVal);
+        sum += out[i];
+    }
+    for (auto &v : out)
+        v /= sum;
+    return out;
+}
+
+AttentionResult
+referenceAttention(const Matrix &key, const Matrix &value,
+                   const Vector &query)
+{
+    std::vector<std::uint32_t> all(key.rows());
+    std::iota(all.begin(), all.end(), 0u);
+    return subsetAttention(key, value, query, all);
+}
+
+AttentionResult
+subsetAttention(const Matrix &key, const Matrix &value,
+                const Vector &query,
+                const std::vector<std::uint32_t> &rows)
+{
+    a3Assert(key.rows() == value.rows() && key.cols() == value.cols(),
+             "key/value shape mismatch");
+    a3Assert(query.size() == key.cols(), "query dimension mismatch");
+    a3Assert(!rows.empty(), "attention over an empty row subset");
+
+    const std::size_t n = key.rows();
+    const std::size_t d = key.cols();
+
+    AttentionResult result;
+    result.scores.assign(n, 0.0f);
+    result.weights.assign(n, 0.0f);
+    result.candidates = rows;
+    result.kept = rows;
+
+    // Step 1: dot products for the selected rows only.
+    Vector subsetScores(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        a3Assert(rows[i] < n, "row index out of range");
+        subsetScores[i] = dot(key.row(rows[i]),
+                              std::span<const float>(query));
+        result.scores[rows[i]] = subsetScores[i];
+    }
+
+    // Step 2: softmax over the subset.
+    const Vector subsetWeights = softmax(subsetScores);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        result.weights[rows[i]] = subsetWeights[i];
+
+    // Step 3: weighted sum of the selected value rows.
+    result.output.assign(d, 0.0f);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto valueRow = value.row(rows[i]);
+        for (std::size_t j = 0; j < d; ++j)
+            result.output[j] += subsetWeights[i] * valueRow[j];
+    }
+    return result;
+}
+
+}  // namespace a3

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Exact floating-point attention (Figure 1 of the paper).
+ *
+ * This is the functional baseline every approximate and quantized
+ * configuration is validated against, and also the kernel the CPU
+ * baseline times.
+ */
+
+#ifndef A3_ATTENTION_REFERENCE_HPP
+#define A3_ATTENTION_REFERENCE_HPP
+
+#include "attention/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/** Numerically-stable softmax (subtracts the maximum before exp). */
+Vector softmax(const Vector &input);
+
+/**
+ * Exact soft attention: output = softmax(K q)^T V.
+ *
+ * @param key n x d key matrix.
+ * @param value n x d value matrix.
+ * @param query d-dimensional query.
+ */
+AttentionResult referenceAttention(const Matrix &key, const Matrix &value,
+                                   const Vector &query);
+
+/**
+ * Exact attention restricted to a subset of rows: scores are computed
+ * only for `rows`, the softmax normalizes over that subset, and the
+ * weighted sum spans only those value rows. This is the float-precision
+ * model of what A3 computes after selection; the exact path is the
+ * special case rows = {0..n-1}.
+ */
+AttentionResult subsetAttention(const Matrix &key, const Matrix &value,
+                                const Vector &query,
+                                const std::vector<std::uint32_t> &rows);
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_REFERENCE_HPP

@@ -1,0 +1,60 @@
+#include "attention/self_attention.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+SelfAttentionResult
+selfAttention(const Matrix &key, const Matrix &value,
+              const Matrix &queries, const ApproxConfig &config)
+{
+    a3Assert(queries.cols() == key.cols(),
+             "query width must match the key dimension");
+    const ApproxAttention engine(key, value, config);
+
+    SelfAttentionResult result;
+    const std::size_t tokens = queries.rows();
+    result.outputs = Matrix(tokens, key.cols());
+    result.perToken.reserve(tokens);
+    double candSum = 0.0;
+    double keptSum = 0.0;
+    for (std::size_t t = 0; t < tokens; ++t) {
+        Vector q(queries.row(t).begin(), queries.row(t).end());
+        AttentionResult r = engine.run(q);
+        for (std::size_t j = 0; j < key.cols(); ++j)
+            result.outputs(t, j) = r.output[j];
+        candSum += static_cast<double>(r.candidates.size());
+        keptSum += static_cast<double>(r.kept.size());
+        result.perToken.push_back(std::move(r));
+    }
+    if (tokens > 0) {
+        result.avgCandidates = candSum / static_cast<double>(tokens);
+        result.avgKept = keptSum / static_cast<double>(tokens);
+    }
+    return result;
+}
+
+Matrix
+zeroPadColumns(const Matrix &m, std::size_t targetCols)
+{
+    a3Assert(targetCols >= m.cols(),
+             "zero-padding cannot shrink the matrix");
+    Matrix out(m.rows(), targetCols);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            out(r, c) = m(r, c);
+    return out;
+}
+
+Vector
+zeroPad(const Vector &v, std::size_t targetDims)
+{
+    a3Assert(targetDims >= v.size(),
+             "zero-padding cannot shrink the vector");
+    Vector out(targetDims, 0.0f);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = v[i];
+    return out;
+}
+
+}  // namespace a3

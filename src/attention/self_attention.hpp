@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Self-attention convenience layer (the BERT/Transformer pattern) and
+ * the zero-padding helper for narrow embeddings.
+ *
+ * Self-attention answers one query per token against a key/value pair
+ * derived from the same token sequence; the key matrix — and thus the
+ * sorted-key preprocessing — is shared by all n queries (Section
+ * IV-A). Section III-C also notes that d rarely varies, so a datapath
+ * sized for d = 64 serves smaller embeddings via zero-padding; the
+ * helper here implements that padding and tests prove it is exact.
+ */
+
+#ifndef A3_ATTENTION_SELF_ATTENTION_HPP
+#define A3_ATTENTION_SELF_ATTENTION_HPP
+
+#include "attention/approx_attention.hpp"
+
+namespace a3 {
+
+/** All per-token results of one self-attention pass. */
+struct SelfAttentionResult
+{
+    /** Row t is the attention output for token t's query. */
+    Matrix outputs;
+
+    /** Per-token attention results (selection stats, weights). */
+    std::vector<AttentionResult> perToken;
+
+    /** Mean candidates C across tokens. */
+    double avgCandidates = 0.0;
+
+    /** Mean post-scoring survivors K across tokens. */
+    double avgKept = 0.0;
+};
+
+/**
+ * Run self-attention: token t's query is `queries.row(t)`, attended
+ * over the shared (key, value) pair. Preprocessing happens once.
+ */
+SelfAttentionResult selfAttention(const Matrix &key,
+                                  const Matrix &value,
+                                  const Matrix &queries,
+                                  const ApproxConfig &config);
+
+/**
+ * Zero-pad the columns of `m` to `targetCols` (Section III-C: "use
+ * zero-padding when smaller d is desired"). Padding columns contribute
+ * exactly zero to every dot product, so attention over padded inputs
+ * equals attention over the originals.
+ */
+Matrix zeroPadColumns(const Matrix &m, std::size_t targetCols);
+
+/** Zero-pad a query vector to `targetDims`. */
+Vector zeroPad(const Vector &v, std::size_t targetDims);
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_SELF_ATTENTION_HPP

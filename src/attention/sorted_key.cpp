@@ -1,0 +1,45 @@
+#include "attention/sorted_key.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+SortedKey
+SortedKey::build(const Matrix &key)
+{
+    SortedKey sk;
+    sk.rows_ = key.rows();
+    sk.cols_ = key.cols();
+    sk.columns_.resize(sk.cols_);
+    for (std::size_t c = 0; c < sk.cols_; ++c) {
+        auto &column = sk.columns_[c];
+        column.resize(sk.rows_);
+        for (std::size_t r = 0; r < sk.rows_; ++r)
+            column[r] = {key(r, c), static_cast<std::uint32_t>(r)};
+        std::stable_sort(column.begin(), column.end(),
+                         [](const SortedKeyEntry &a,
+                            const SortedKeyEntry &b) {
+                             return a.val < b.val;
+                         });
+    }
+    return sk;
+}
+
+const SortedKeyEntry &
+SortedKey::at(std::size_t pos, std::size_t col) const
+{
+    a3Assert(col < cols_, "sorted-key column out of range");
+    a3Assert(pos < rows_, "sorted-key position out of range");
+    return columns_[col][pos];
+}
+
+std::size_t
+SortedKey::storageBytes() const
+{
+    // One float value plus one 32-bit row id per entry, as in Figure 8.
+    return rows_ * cols_ * (sizeof(float) + sizeof(std::uint32_t));
+}
+
+}  // namespace a3

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Pre-sorted key matrix (Section IV-C preprocessing).
+ *
+ * Each column of the key matrix is sorted ascending by value, and every
+ * entry carries the row index it came from in the original matrix —
+ * exactly the (val, rowID) pair layout of the paper's sortedKey SRAM
+ * (Figure 8). Preprocessing happens at comprehension time (off the
+ * query critical path), or is amortized over many queries for
+ * self-attention models like BERT.
+ */
+
+#ifndef A3_ATTENTION_SORTED_KEY_HPP
+#define A3_ATTENTION_SORTED_KEY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/** One word of the sorted-key SRAM: a key value plus its origin row. */
+struct SortedKeyEntry
+{
+    float val = 0.0f;
+    std::uint32_t rowId = 0;
+};
+
+/** Column-sorted view of a key matrix. */
+class SortedKey
+{
+  public:
+    SortedKey() = default;
+
+    /**
+     * Sort every column of `key` ascending by value. Ties keep the
+     * original row order (stable), which pins down the pop order of the
+     * greedy search for reproducibility.
+     */
+    static SortedKey build(const Matrix &key);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /**
+     * Entry at sorted position `pos` (0 = smallest) of column `col`.
+     */
+    const SortedKeyEntry &at(std::size_t pos, std::size_t col) const;
+
+    /** Size in bytes of the modeled SRAM (value + row id per entry). */
+    std::size_t storageBytes() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    /** Column-major: columns_[col][pos], ascending by val. */
+    std::vector<std::vector<SortedKeyEntry>> columns_;
+};
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_SORTED_KEY_HPP

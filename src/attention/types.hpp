@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared result types for the attention library.
+ */
+
+#ifndef A3_ATTENTION_TYPES_HPP
+#define A3_ATTENTION_TYPES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/**
+ * Result of one attention operation together with the intermediate
+ * values the evaluation needs (scores for top-k recall, weights for
+ * post-softmax analysis, selection sizes for Figures 11b/12b).
+ */
+struct AttentionResult
+{
+    /** d-dimensional output vector (weighted sum of value rows). */
+    Vector output;
+
+    /**
+     * Per-row softmax weights, length n. Rows that approximation
+     * excluded hold exactly 0.
+     */
+    Vector weights;
+
+    /**
+     * Per-row similarity scores (dot products), length n. Rows whose
+     * score was never computed (non-candidates) hold 0 and are listed
+     * in neither `candidates` nor `kept`.
+     */
+    Vector scores;
+
+    /** Rows surviving candidate selection, ascending; n rows if exact. */
+    std::vector<std::uint32_t> candidates;
+
+    /** Rows surviving post-scoring selection, ascending subset. */
+    std::vector<std::uint32_t> kept;
+
+    /** Greedy-search iterations actually executed (0 if exact). */
+    std::size_t iterations = 0;
+};
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_TYPES_HPP

@@ -1,0 +1,61 @@
+#include "baseline/cpu_baseline.hpp"
+
+#include <chrono>
+
+#include "attention/reference.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+
+double
+CpuMeasurement::opsPerSecond() const
+{
+    a3Assert(secondsPerOp > 0.0, "measurement without timing data");
+    return 1.0 / secondsPerOp;
+}
+
+CpuMeasurement
+measureCpuAttention(std::size_t n, std::size_t d,
+                    std::size_t iterations, std::uint64_t seed)
+{
+    a3Assert(n > 0 && d > 0 && iterations > 0,
+             "degenerate CPU measurement request");
+    Rng rng(seed);
+    Matrix key(n, d);
+    Matrix value(n, d);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            key(r, c) = static_cast<float>(rng.normal());
+            value(r, c) = static_cast<float>(rng.normal());
+        }
+    }
+    std::vector<Vector> queries(iterations);
+    for (auto &q : queries) {
+        q.resize(d);
+        for (auto &x : q)
+            x = static_cast<float>(rng.normal());
+    }
+
+    // Warm-up pass (caches, frequency scaling).
+    float accumulator = 0.0f;
+    accumulator +=
+        referenceAttention(key, value, queries.front()).output[0];
+
+    const auto start = std::chrono::steady_clock::now();
+    for (const Vector &q : queries)
+        accumulator += referenceAttention(key, value, q).output[0];
+    const auto stop = std::chrono::steady_clock::now();
+    // Defeat dead-code elimination without deprecated volatile ops.
+    volatile float sink = accumulator;
+    (void)sink;
+
+    CpuMeasurement m;
+    m.operations = iterations;
+    m.secondsPerOp =
+        std::chrono::duration<double>(stop - start).count() /
+        static_cast<double>(iterations);
+    return m;
+}
+
+}  // namespace a3

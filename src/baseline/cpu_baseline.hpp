@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Measured CPU baseline for the attention kernel.
+ *
+ * This times the exact floating-point attention kernel (the dense
+ * matrix-vector implementation of Figure 1) on the host machine,
+ * giving a real — if host-dependent — data point to compare against
+ * the simulated A3 cycle counts. The analytic models in
+ * device_models.hpp provide the paper-calibrated comparison used in
+ * the Figure 14/15 benches; this measured path exists so the benches
+ * can print both and be honest about what is measured vs modeled.
+ */
+
+#ifndef A3_BASELINE_CPU_BASELINE_HPP
+#define A3_BASELINE_CPU_BASELINE_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/** Result of timing the dense attention kernel on the host. */
+struct CpuMeasurement
+{
+    /** Mean wall-clock seconds per attention operation. */
+    double secondsPerOp = 0.0;
+
+    /** Operations timed. */
+    std::size_t operations = 0;
+
+    /** Attention operations per second. */
+    double opsPerSecond() const;
+};
+
+/**
+ * Time `iterations` runs of exact attention on a random task of shape
+ * n x d; a warm-up pass precedes timing and a checksum defeats
+ * dead-code elimination.
+ */
+CpuMeasurement measureCpuAttention(std::size_t n, std::size_t d,
+                                   std::size_t iterations,
+                                   std::uint64_t seed = 7);
+
+}  // namespace a3
+
+#endif  // A3_BASELINE_CPU_BASELINE_HPP

@@ -1,0 +1,56 @@
+#include "baseline/device_models.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+double
+attentionFlops(std::size_t n, std::size_t d)
+{
+    // 2nd MACs for the score matvec, 2nd for the weighted sum, and a
+    // 5% margin covering softmax exponentials and normalization.
+    return 1.05 * 4.0 * static_cast<double>(n) * static_cast<double>(d);
+}
+
+double
+CpuTimingModel::singleQuerySeconds(std::size_t n, std::size_t d) const
+{
+    return dispatchOverheadSec + attentionFlops(n, d) / gemvFlops;
+}
+
+double
+CpuTimingModel::batchedSeconds(std::size_t n, std::size_t d,
+                               std::size_t batch) const
+{
+    a3Assert(batch > 0, "batched CPU model needs a positive batch");
+    return dispatchOverheadSec / static_cast<double>(batch) +
+           attentionFlops(n, d) / gemmFlops;
+}
+
+double
+GpuTimingModel::batchedSeconds(std::size_t n, std::size_t d,
+                               std::size_t batch) const
+{
+    a3Assert(batch > 0, "batched GPU model needs a positive batch");
+    return launchOverheadSec / static_cast<double>(batch) +
+           attentionFlops(n, d) / effectiveFlops;
+}
+
+double
+TimeShareModel::attentionShareTotal() const
+{
+    const double total =
+        attentionSec + comprehensionSec + otherQuerySec;
+    a3Assert(total > 0.0, "time-share model with zero total time");
+    return attentionSec / total;
+}
+
+double
+TimeShareModel::attentionShareQueryTime() const
+{
+    const double queryTime = attentionSec + otherQuerySec;
+    a3Assert(queryTime > 0.0, "time-share model with zero query time");
+    return attentionSec / queryTime;
+}
+
+}  // namespace a3

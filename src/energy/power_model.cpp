@@ -1,0 +1,230 @@
+#include "energy/power_model.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+namespace table1 {
+
+ModulePower
+dotProduct()
+{
+    return {"Dot Product", 0.098, 14.338, 1.265};
+}
+
+ModulePower
+exponent()
+{
+    return {"Exponent Computation", 0.016, 0.224, 0.053};
+}
+
+ModulePower
+output()
+{
+    return {"Output Computation", 0.062, 50.918, 0.070};
+}
+
+ModulePower
+candidateSelection()
+{
+    return {"Candidate Selection", 0.277, 19.48, 5.08};
+}
+
+ModulePower
+postScoring()
+{
+    return {"Post-Scoring Selection", 0.010, 2.055, 0.147};
+}
+
+ModulePower
+keySram()
+{
+    return {"Key Matrix (20KB)", 0.350, 2.901, 0.987};
+}
+
+ModulePower
+valueSram()
+{
+    return {"Value Matrix (20KB)", 0.350, 2.901, 0.987};
+}
+
+ModulePower
+sortedKeySram()
+{
+    return {"Sorted Key Matrix (40KB)", 0.919, 6.100, 2.913};
+}
+
+std::vector<ModulePower>
+allModules()
+{
+    return {dotProduct(),        exponent(),  output(),
+            candidateSelection(), postScoring(), keySram(),
+            valueSram(),          sortedKeySram()};
+}
+
+namespace {
+
+ModulePower
+sum(const std::vector<ModulePower> &modules, const std::string &name)
+{
+    ModulePower total{name, 0.0, 0.0, 0.0};
+    for (const ModulePower &m : modules) {
+        total.areaMm2 += m.areaMm2;
+        total.dynamicMw += m.dynamicMw;
+        total.staticMw += m.staticMw;
+    }
+    return total;
+}
+
+}  // namespace
+
+ModulePower
+baseTotal()
+{
+    return sum({dotProduct(), exponent(), output(), keySram(),
+                valueSram()},
+               "Base A3");
+}
+
+ModulePower
+fullTotal()
+{
+    return sum(allModules(), "A3");
+}
+
+}  // namespace table1
+
+ReferenceDevice
+xeonGold6128()
+{
+    return {"Intel Xeon Gold 6128", 115.0, 325.0, 14};
+}
+
+ReferenceDevice
+titanV()
+{
+    return {"NVIDIA Titan V", 250.0, 815.0, 12};
+}
+
+double
+EnergyBreakdown::total() const
+{
+    return candidateSelection + dotProduct + exponentWithPostScoring +
+           output + memory;
+}
+
+std::vector<double>
+EnergyBreakdown::fractions() const
+{
+    const double sum = total();
+    if (sum <= 0.0)
+        return {0.0, 0.0, 0.0, 0.0, 0.0};
+    return {candidateSelection / sum, dotProduct / sum,
+            exponentWithPostScoring / sum, output / sum, memory / sum};
+}
+
+namespace {
+
+/** Joules of one module given active and elapsed cycle counts. */
+double
+moduleEnergy(const ModulePower &power, double activeCycles,
+             double elapsedCycles, double clockHz)
+{
+    const double dynamicJ =
+        power.dynamicMw * 1e-3 * activeCycles / clockHz;
+    const double staticJ =
+        power.staticMw * 1e-3 * elapsedCycles / clockHz;
+    return dynamicJ + staticJ;
+}
+
+}  // namespace
+
+EnergyBreakdown
+PowerModel::computeEnergy(const A3Accelerator &acc)
+{
+    const double clockHz = acc.config().clockGhz * 1e9;
+    const auto elapsed = static_cast<double>(acc.now());
+    const bool approx = acc.config().mode == A3Mode::Approx;
+
+    // Locate per-stage activity by stage name.
+    double candActive = 0.0;
+    double dotActive = 0.0;
+    double expActive = 0.0;
+    double psActive = 0.0;
+    double outActive = 0.0;
+    for (const Stage *stage : acc.stages()) {
+        const auto active =
+            static_cast<double>(stage->stats().activeCycles);
+        if (stage->name() == "candidate_selection") {
+            candActive = active;
+        } else if (stage->name() == "dot_product") {
+            dotActive = active;
+        } else if (stage->name() == "exponent") {
+            psActive = static_cast<double>(stage->stats().auxCycles);
+            expActive = active - psActive;
+        } else if (stage->name() == "output") {
+            outActive = active;
+        } else {
+            panic("unknown stage name: ", stage->name());
+        }
+    }
+
+    EnergyBreakdown e;
+    e.dotProduct = moduleEnergy(table1::dotProduct(), dotActive,
+                                elapsed, clockHz);
+    e.exponentWithPostScoring =
+        moduleEnergy(table1::exponent(), expActive, elapsed, clockHz);
+    e.output = moduleEnergy(table1::output(), outActive, elapsed,
+                            clockHz);
+    if (approx) {
+        e.candidateSelection = moduleEnergy(table1::candidateSelection(),
+                                            candActive, elapsed,
+                                            clockHz);
+        e.exponentWithPostScoring += moduleEnergy(
+            table1::postScoring(), psActive, elapsed, clockHz);
+    }
+
+    // SRAM: one access per active cycle at the Table I dynamic power.
+    e.memory = moduleEnergy(
+        table1::keySram(),
+        static_cast<double>(acc.keySram().accesses()), elapsed,
+        clockHz);
+    e.memory += moduleEnergy(
+        table1::valueSram(),
+        static_cast<double>(acc.valueSram().accesses()), elapsed,
+        clockHz);
+    if (approx) {
+        e.memory += moduleEnergy(
+            table1::sortedKeySram(),
+            static_cast<double>(acc.sortedKeySram().accesses()),
+            elapsed, clockHz);
+    }
+    // DRAM spill traffic (zero unless the task exceeds the SRAM).
+    e.memory += acc.dram().energyJ();
+    return e;
+}
+
+double
+PowerModel::referenceEnergy(const ReferenceDevice &device, double seconds)
+{
+    a3Assert(seconds >= 0.0, "negative runtime");
+    return device.tdpW * seconds;
+}
+
+double
+PowerModel::opsPerJoule(double operations, double joules)
+{
+    a3Assert(joules > 0.0, "ops/J with non-positive energy");
+    return operations / joules;
+}
+
+double
+clusterEnergy(const A3Cluster &cluster)
+{
+    double total = 0.0;
+    for (std::size_t u = 0; u < cluster.units(); ++u)
+        total += PowerModel::computeEnergy(cluster.unit(u)).total();
+    return total;
+}
+
+}  // namespace a3

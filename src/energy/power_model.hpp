@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Area / power / energy model of A3 (Table I of the paper).
+ *
+ * The paper synthesizes A3 with Synopsys DC on a TSMC 40 nm library at
+ * 1 GHz and reports per-module area plus dynamic and static power
+ * (Table I). Its energy results (Figure 15) are those constants
+ * combined with cycle-level activity. We embed the published constants
+ * and do the same accounting:
+ *
+ *   E_module = dynamicPower x activeCycles / f
+ *            + staticPower  x elapsedCycles / f
+ *
+ * CPU and GPU comparison energy assumes TDP during the whole runtime,
+ * exactly as Section VI-D does ("we assumed their power consumption is
+ * equal to their TDPs").
+ */
+
+#ifndef A3_ENERGY_POWER_MODEL_HPP
+#define A3_ENERGY_POWER_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/accelerator.hpp"
+#include "sim/multi_unit.hpp"
+
+namespace a3 {
+
+/** Area and power characteristics of one hardware module (Table I). */
+struct ModulePower
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double dynamicMw = 0.0;
+    double staticMw = 0.0;
+};
+
+/** Published Table I rows. */
+namespace table1 {
+
+ModulePower dotProduct();
+ModulePower exponent();
+ModulePower output();
+ModulePower candidateSelection();
+ModulePower postScoring();
+ModulePower keySram();
+ModulePower valueSram();
+ModulePower sortedKeySram();
+
+/** All rows in Table I order. */
+std::vector<ModulePower> allModules();
+
+/** Total over base-design modules only (no approximation support). */
+ModulePower baseTotal();
+
+/** Total over every module (the paper's "A3" total row). */
+ModulePower fullTotal();
+
+}  // namespace table1
+
+/** Reference conventional-hardware characteristics (Section VI-D). */
+struct ReferenceDevice
+{
+    std::string name;
+    double tdpW = 0.0;
+    double dieAreaMm2 = 0.0;
+    int processNm = 0;
+};
+
+/** Intel Xeon Gold 6128 (Skylake-SP): 115 W TDP, 325 mm2, 14 nm. */
+ReferenceDevice xeonGold6128();
+
+/** NVIDIA Titan V: 250 W TDP, 815 mm2, 12 nm. */
+ReferenceDevice titanV();
+
+/** Energy in joules split by the Figure 15b categories. */
+struct EnergyBreakdown
+{
+    double candidateSelection = 0.0;
+    double dotProduct = 0.0;
+    double exponentWithPostScoring = 0.0;
+    double output = 0.0;
+    double memory = 0.0;
+
+    double total() const;
+
+    /** Fraction of total per category, in Figure 15b order. */
+    std::vector<double> fractions() const;
+};
+
+/** Turns simulated activity into joules using the Table I constants. */
+class PowerModel
+{
+  public:
+    /**
+     * Energy of one simulated run: per-stage active cycles drive the
+     * dynamic term; the full elapsed cycle count drives static power
+     * for every module present in the accelerator's mode.
+     */
+    static EnergyBreakdown computeEnergy(const A3Accelerator &acc);
+
+    /** Energy a reference device burns running for `seconds` at TDP. */
+    static double referenceEnergy(const ReferenceDevice &device,
+                                  double seconds);
+
+    /**
+     * Energy efficiency in attention operations per joule, given ops
+     * completed and joules spent.
+     */
+    static double opsPerJoule(double operations, double joules);
+};
+
+/** Total Table I energy across every unit of a cluster, joules. */
+double clusterEnergy(const A3Cluster &cluster);
+
+}  // namespace a3
+
+#endif  // A3_ENERGY_POWER_MODEL_HPP

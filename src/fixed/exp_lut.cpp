@@ -1,0 +1,83 @@
+#include "fixed/exp_lut.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+ExpLut::ExpLut(int inputFracBits, int outputFracBits)
+    : inputFracBits_(inputFracBits), outputFracBits_(outputFracBits)
+{
+    a3Assert(inputFracBits >= 1 && inputFracBits <= 24,
+             "exp LUT input fraction bits out of range");
+    a3Assert(outputFracBits >= 1 && outputFracBits <= 24,
+             "exp LUT output fraction bits out of range");
+
+    // Underflow threshold: once e^-x drops below half an output LSB the
+    // quantized score is zero, so the tables only need to cover
+    // magnitudes up to xMax = ln(2) * (outputFracBits + 1).
+    const double xMax =
+        std::log(2.0) * static_cast<double>(outputFracBits + 1);
+    int intBitsNeeded = 1;
+    while (std::ldexp(1.0, intBitsNeeded) < xMax)
+        ++intBitsNeeded;
+
+    const int totalBits = intBitsNeeded + inputFracBits_;
+    upperBits_ = (totalBits + 1) / 2;
+    lowerBits_ = totalBits - upperBits_;
+
+    const double outScale = std::ldexp(1.0, outputFracBits_);
+    const double inScale = std::ldexp(1.0, -inputFracBits_);
+
+    // upperTable[p] ~ e^-(p << lowerBits) * 2^-inputFracBits,
+    // lowerTable[p] ~ e^-(p * 2^-inputFracBits); both as Q0.out words.
+    upperTable_.resize(std::size_t{1} << upperBits_);
+    for (std::size_t p = 0; p < upperTable_.size(); ++p) {
+        const double x =
+            static_cast<double>(p << lowerBits_) * inScale;
+        upperTable_[p] = static_cast<std::int64_t>(
+            std::nearbyint(std::exp(-x) * outScale));
+    }
+    lowerTable_.resize(std::size_t{1} << lowerBits_);
+    for (std::size_t p = 0; p < lowerTable_.size(); ++p) {
+        const double x = static_cast<double>(p) * inScale;
+        lowerTable_[p] = static_cast<std::int64_t>(
+            std::nearbyint(std::exp(-x) * outScale));
+    }
+}
+
+std::int64_t
+ExpLut::lookup(std::int64_t rawInput) const
+{
+    a3Assert(rawInput <= 0,
+             "exp LUT requires non-positive input, got raw ", rawInput);
+    const std::uint64_t magnitude = static_cast<std::uint64_t>(-rawInput);
+    const int totalBits = upperBits_ + lowerBits_;
+    if (magnitude >> totalBits)
+        return 0;  // underflow short-circuit
+
+    const std::uint64_t upperIndex = magnitude >> lowerBits_;
+    const std::uint64_t lowerIndex =
+        magnitude & ((std::uint64_t{1} << lowerBits_) - 1);
+    const std::int64_t product =
+        upperTable_[upperIndex] * lowerTable_[lowerIndex];
+    // Product is Q0.2out; truncate back to Q0.out like the hardware
+    // multiplier, then saturate (e^0 would need the value 1.0 which the
+    // zero-integer-bit score format cannot hold exactly).
+    std::int64_t result = product >> outputFracBits_;
+    const std::int64_t maxScore =
+        (std::int64_t{1} << outputFracBits_) - 1;
+    return result > maxScore ? maxScore : result;
+}
+
+double
+ExpLut::maxAbsError() const
+{
+    // Each table entry is within 0.5 output LSB of the exact factor, the
+    // factors are <= 1, and the final truncation adds < 1 LSB; the score
+    // saturation at 1 - 2^-f adds one more LSB at x == 0.
+    return std::ldexp(3.0, -outputFracBits_);
+}
+
+}  // namespace a3

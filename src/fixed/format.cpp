@@ -1,0 +1,85 @@
+#include "fixed/format.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+std::int64_t
+FixedFormat::maxRaw() const
+{
+    a3Assert(intBits + fracBits < 63, "fixed-point format too wide");
+    return (std::int64_t{1} << (intBits + fracBits)) - 1;
+}
+
+std::int64_t
+FixedFormat::minRaw() const
+{
+    // Symmetric range: -maxRaw rather than -(maxRaw + 1). Restricting
+    // the most negative code keeps the product of two (i, f) words
+    // inside (2i, 2f) even at the corner (-2^i) * (-2^i), the same
+    // reason fixed-point accelerators quantize symmetrically.
+    return -maxRaw();
+}
+
+double
+FixedFormat::resolution() const
+{
+    return std::ldexp(1.0, -fracBits);
+}
+
+double
+FixedFormat::maxValue() const
+{
+    return toDouble(maxRaw());
+}
+
+double
+FixedFormat::minValue() const
+{
+    return toDouble(minRaw());
+}
+
+bool
+FixedFormat::fits(std::int64_t raw) const
+{
+    return raw >= minRaw() && raw <= maxRaw();
+}
+
+std::int64_t
+FixedFormat::quantize(double value) const
+{
+    const double scaled = std::ldexp(value, fracBits);
+    // Round half to even, matching typical synthesized rounding logic.
+    const double rounded = std::nearbyint(scaled);
+    if (rounded >= static_cast<double>(maxRaw()))
+        return maxRaw();
+    if (rounded <= static_cast<double>(minRaw()))
+        return minRaw();
+    return static_cast<std::int64_t>(rounded);
+}
+
+double
+FixedFormat::toDouble(std::int64_t raw) const
+{
+    return std::ldexp(static_cast<double>(raw), -fracBits);
+}
+
+std::int64_t
+FixedFormat::saturate(std::int64_t raw) const
+{
+    if (raw > maxRaw())
+        return maxRaw();
+    if (raw < minRaw())
+        return minRaw();
+    return raw;
+}
+
+std::string
+FixedFormat::str() const
+{
+    return "Q" + std::to_string(intBits) + "." + std::to_string(fracBits);
+}
+
+}  // namespace a3

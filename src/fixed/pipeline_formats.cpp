@@ -1,0 +1,41 @@
+#include "fixed/pipeline_formats.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+int
+ceilLog2(std::size_t x)
+{
+    a3Assert(x >= 1, "ceilLog2 of zero");
+    int bits = 0;
+    std::size_t capacity = 1;
+    while (capacity < x) {
+        capacity <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+PipelineFormats
+PipelineFormats::derive(int intBits, int fracBits,
+                        std::size_t n, std::size_t d)
+{
+    a3Assert(intBits >= 1 && fracBits >= 1,
+             "pipeline formats need at least one integer and one "
+             "fraction bit");
+    a3Assert(n >= 1 && d >= 1, "pipeline formats need n, d >= 1");
+
+    PipelineFormats pf;
+    pf.input = {intBits, fracBits};
+    pf.product = {2 * intBits, 2 * fracBits};
+    pf.dotProduct = {2 * intBits + ceilLog2(d), 2 * fracBits};
+    pf.shiftedDot = {pf.dotProduct.intBits + 1, 2 * fracBits};
+    pf.score = {0, 2 * fracBits};
+    pf.expSum = {ceilLog2(n), 2 * fracBits};
+    pf.weight = {0, 2 * fracBits};
+    pf.output = {intBits + ceilLog2(n), 3 * fracBits};
+    return pf;
+}
+
+}  // namespace a3

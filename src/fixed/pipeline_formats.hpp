@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Section III-B bitwidth derivation for the A3 pipeline.
+ *
+ * Given the input format (i integer bits, f fraction bits) and the task
+ * shape (n rows, d columns), this computes the format of every pipeline
+ * stage such that no overflow and no precision loss can occur:
+ *
+ *   input       : ( i,                      f  )
+ *   temp[][]    : ( 2i,                     2f )   products
+ *   dot_product : ( 2i + ceil(log2 d),      2f )   adder-tree sum
+ *   shifted dot : ( 2i + ceil(log2 d) + 1,  2f )   after max subtraction
+ *   score       : ( 0,                      2f )   e^x with x <= 0
+ *   expsum      : ( ceil(log2 n),           2f )   sum of n scores
+ *   weight      : ( 0,                      2f )   score / expsum
+ *   output      : ( i + ceil(log2 n),       3f )   weighted value sum
+ */
+
+#ifndef A3_FIXED_PIPELINE_FORMATS_HPP
+#define A3_FIXED_PIPELINE_FORMATS_HPP
+
+#include <cstddef>
+
+#include "fixed/format.hpp"
+
+namespace a3 {
+
+/** ceil(log2(x)) for x >= 1; returns 0 for x == 1. */
+int ceilLog2(std::size_t x);
+
+/** All per-stage formats of the A3 fixed-point pipeline. */
+struct PipelineFormats
+{
+    FixedFormat input;        ///< key / value / query elements
+    FixedFormat product;      ///< element-wise products (temp[][])
+    FixedFormat dotProduct;   ///< adder-tree output per row
+    FixedFormat shiftedDot;   ///< dot product minus running max
+    FixedFormat score;        ///< exponent output in [0, 1]
+    FixedFormat expSum;       ///< accumulated softmax denominator
+    FixedFormat weight;       ///< normalized score in [0, 1]
+    FixedFormat output;       ///< final weighted-sum output
+
+    /**
+     * Derive the stage formats for a task of shape n x d with input
+     * quantized to `intBits`.`fracBits`.
+     */
+    static PipelineFormats derive(int intBits, int fracBits,
+                                  std::size_t n, std::size_t d);
+};
+
+}  // namespace a3
+
+#endif  // A3_FIXED_PIPELINE_FORMATS_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-point value type with hardware-style width growth.
+ *
+ * Arithmetic follows what synthesized datapaths do: a multiply of
+ * (i1, f1) x (i2, f2) produces an exact (i1+i2, f1+f2) result; an add of
+ * two equal-fraction operands produces one extra integer bit. Section
+ * III-B of the paper derives the A3 pipeline widths from exactly these
+ * rules, and the tests assert that no stage ever saturates for in-range
+ * inputs.
+ */
+
+#ifndef A3_FIXED_VALUE_HPP
+#define A3_FIXED_VALUE_HPP
+
+#include <cstdint>
+
+#include "fixed/format.hpp"
+
+namespace a3 {
+
+/** A raw fixed-point word tagged with its format. */
+struct FixedValue
+{
+    std::int64_t raw = 0;
+    FixedFormat fmt;
+
+    /** Real value represented by this word. */
+    double toDouble() const { return fmt.toDouble(raw); }
+
+    /** Quantize a real value into `fmt` (rounds and saturates). */
+    static FixedValue fromDouble(double value, FixedFormat fmt);
+
+    /** Zero in the given format. */
+    static FixedValue zero(FixedFormat fmt) { return {0, fmt}; }
+};
+
+/**
+ * Exact multiply: result has i1+i2 integer and f1+f2 fraction bits.
+ * Never loses precision and never overflows the declared result format.
+ */
+FixedValue mulFull(const FixedValue &a, const FixedValue &b);
+
+/**
+ * Exact add: operands must share a fraction width; the result gains
+ * one integer bit, so it cannot overflow.
+ */
+FixedValue addFull(const FixedValue &a, const FixedValue &b);
+
+/** Exact subtract with the same width rules as addFull(). */
+FixedValue subFull(const FixedValue &a, const FixedValue &b);
+
+/**
+ * Re-quantize `v` into `target`: shifts the binary point (truncating
+ * toward negative infinity when narrowing, as a hardware right-shift
+ * does) and saturates into the target range.
+ */
+FixedValue rescale(const FixedValue &v, FixedFormat target);
+
+/**
+ * Fixed-point division `num / den` producing `outFracBits` fraction bits
+ * and `outIntBits` integer bits, truncated like a sequential hardware
+ * divider. Requires den.raw != 0.
+ */
+FixedValue divide(const FixedValue &num, const FixedValue &den,
+                  int outIntBits, int outFracBits);
+
+}  // namespace a3
+
+#endif  // A3_FIXED_VALUE_HPP

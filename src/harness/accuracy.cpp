@@ -1,0 +1,133 @@
+#include "harness/accuracy.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "attention/approx_attention.hpp"
+#include "attention/post_scoring.hpp"
+#include "attention/quantized.hpp"
+#include "attention/reference.hpp"
+#include "util/logging.hpp"
+#include "workloads/metrics.hpp"
+
+namespace a3 {
+
+namespace {
+
+/**
+ * Answer one query with the approximate fixed-point flow: float greedy
+ * selection (pointer/comparator hardware), quantized dot products on
+ * the candidates, post-scoring on those fixed-point scores, quantized
+ * pipeline over the survivors — the same flow A3Accelerator models.
+ */
+AttentionResult
+runApproxQuantized(const ApproxAttention &task,
+                   const QuantizedAttention &datapath,
+                   const Vector &query)
+{
+    CandidateSearchResult search = task.selectCandidates(query);
+    std::vector<std::uint32_t> candidates = std::move(search.candidates);
+    if (candidates.empty()) {
+        const auto best = std::max_element(search.greedyScore.begin(),
+                                           search.greedyScore.end());
+        candidates.push_back(static_cast<std::uint32_t>(
+            best - search.greedyScore.begin()));
+    }
+    AttentionResult pass =
+        datapath.run(task.key(), task.value(), query, candidates);
+    Vector scores(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        scores[i] = pass.scores[candidates[i]];
+    std::vector<std::uint32_t> kept = postScoringSelect(
+        candidates, scores, task.config().scoreGap());
+    AttentionResult result =
+        datapath.run(task.key(), task.value(), query, kept);
+    result.candidates = std::move(candidates);
+    result.kept = std::move(kept);
+    return result;
+}
+
+}  // namespace
+
+AccuracyReport
+evaluateAccuracy(const Workload &workload, const EngineConfig &engine,
+                 std::size_t episodes, std::uint64_t seed)
+{
+    a3Assert(episodes > 0, "accuracy evaluation needs episodes");
+    Rng rng(seed);
+
+    AccuracyReport report;
+    report.episodes = episodes;
+
+    double metricSum = 0.0;
+    double candFracSum = 0.0;
+    double keptFracSum = 0.0;
+    double recallSum = 0.0;
+
+    for (std::size_t e = 0; e < episodes; ++e) {
+        const AttentionTask task = workload.sample(rng);
+        const std::size_t n = task.key.rows();
+
+        // Engines with per-task state.
+        std::optional<ApproxAttention> approxTask;
+        std::optional<QuantizedAttention> datapath;
+        const bool isApprox = engine.kind == EngineKind::ApproxFloat ||
+                              engine.kind == EngineKind::ApproxQuantized;
+        const bool isQuantized =
+            engine.kind == EngineKind::ExactQuantized ||
+            engine.kind == EngineKind::ApproxQuantized;
+        if (isApprox)
+            approxTask.emplace(task.key, task.value, engine.approx);
+        if (isQuantized) {
+            datapath.emplace(engine.intBits, engine.fracBits, n,
+                             task.key.cols());
+        }
+
+        for (std::size_t qi = 0; qi < task.queries.size(); ++qi) {
+            if (task.relevant[qi].empty())
+                continue;  // timing-only query (SQuAD passage tokens)
+            const Vector &query = task.queries[qi];
+
+            AttentionResult result;
+            switch (engine.kind) {
+              case EngineKind::ExactFloat:
+                result = referenceAttention(task.key, task.value, query);
+                break;
+              case EngineKind::ApproxFloat:
+                result = approxTask->run(query);
+                break;
+              case EngineKind::ExactQuantized:
+                result = datapath->run(task.key, task.value, query);
+                break;
+              case EngineKind::ApproxQuantized:
+                result = runApproxQuantized(*approxTask, *datapath,
+                                            query);
+                break;
+            }
+
+            metricSum += workload.score(task, qi, result);
+            candFracSum += static_cast<double>(
+                               result.candidates.size()) /
+                           static_cast<double>(n);
+            keptFracSum += static_cast<double>(result.kept.size()) /
+                           static_cast<double>(n);
+
+            // Top-k recall against the exact float scores.
+            const AttentionResult exact =
+                referenceAttention(task.key, task.value, query);
+            recallSum += topKRecall(exact.scores, result.kept,
+                                    workload.recallTopK());
+            ++report.scoredQueries;
+        }
+    }
+
+    a3Assert(report.scoredQueries > 0, "no scored queries sampled");
+    const auto count = static_cast<double>(report.scoredQueries);
+    report.metric = metricSum / count;
+    report.normalizedCandidates = candFracSum / count;
+    report.normalizedKept = keptFracSum / count;
+    report.recall = recallSum / count;
+    return report;
+}
+
+}  // namespace a3

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Accuracy-evaluation harness (Section VI-B methodology).
+ *
+ * The paper integrates a software model of the approximation into each
+ * workload's reference implementation and measures the task metric on
+ * test inputs. This harness does the same over the synthetic
+ * workloads: it samples episodes, answers every ground-truth query
+ * with a configurable engine (exact or approximate, float or
+ * bit-accurate fixed point), and aggregates the task metric plus the
+ * selection-size statistics Figures 11b/12b/13b report.
+ */
+
+#ifndef A3_HARNESS_ACCURACY_HPP
+#define A3_HARNESS_ACCURACY_HPP
+
+#include <cstdint>
+
+#include "attention/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace a3 {
+
+/** Which functional engine answers the queries. */
+enum class EngineKind {
+    ExactFloat,       ///< reference float attention, no approximation
+    ApproxFloat,      ///< approximation in float (paper's SW model)
+    ExactQuantized,   ///< base A3 fixed-point pipeline
+    ApproxQuantized,  ///< full approximate A3 fixed-point flow
+};
+
+/** Engine selection plus its knobs. */
+struct EngineConfig
+{
+    EngineKind kind = EngineKind::ExactFloat;
+
+    /** Approximation knobs (Approx kinds only). */
+    ApproxConfig approx = ApproxConfig::conservative();
+
+    /** Input quantization (Quantized kinds only). */
+    int intBits = 4;
+    int fracBits = 4;
+};
+
+/** Aggregated accuracy results over many episodes. */
+struct AccuracyReport
+{
+    /** Mean task metric (accuracy / MAP / F1 analogue). */
+    double metric = 0.0;
+
+    /** Mean candidates C / n (Figure 11b's normalized candidates). */
+    double normalizedCandidates = 0.0;
+
+    /** Mean kept K / n (Figure 12b's normalized selected entries). */
+    double normalizedKept = 0.0;
+
+    /** Mean top-k recall of true top rows (Figure 13b). */
+    double recall = 0.0;
+
+    std::size_t episodes = 0;
+    std::size_t scoredQueries = 0;
+};
+
+/**
+ * Run `episodes` sampled episodes of `workload` through `engine` and
+ * aggregate. Deterministic in `seed`.
+ */
+AccuracyReport evaluateAccuracy(const Workload &workload,
+                                const EngineConfig &engine,
+                                std::size_t episodes,
+                                std::uint64_t seed);
+
+}  // namespace a3
+
+#endif  // A3_HARNESS_ACCURACY_HPP

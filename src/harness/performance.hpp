@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Performance / energy harness for Figures 14 and 15.
+ *
+ * For each workload this runs the cycle-level simulator in three
+ * configurations (base A3, approximate conservative, approximate
+ * aggressive), evaluates the analytic CPU and GPU models, and combines
+ * simulated activity with the Table I power model. BERT-style
+ * self-attention charges the amortized preprocessing overhead to the
+ * approximate configurations, as Section VI-C does.
+ */
+
+#ifndef A3_HARNESS_PERFORMANCE_HPP
+#define A3_HARNESS_PERFORMANCE_HPP
+
+#include <string>
+#include <vector>
+
+#include "energy/power_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace a3 {
+
+/** One device/configuration row of the Figure 14/15 comparison. */
+struct PerfResult
+{
+    /** "CPU", "GPU", "Base A3", "Approx A3 (conservative)", ... */
+    std::string device;
+
+    /** True when the device is not applicable (GPU on MemN2N). */
+    bool available = true;
+
+    /** Sustained attention operations per second. */
+    double opsPerSecond = 0.0;
+
+    /** Mean latency of one attention operation, seconds. */
+    double latencySeconds = 0.0;
+
+    /** Average energy per attention operation, joules. */
+    double energyPerOpJ = 0.0;
+
+    /** Module-level energy split (A3 configurations only). */
+    EnergyBreakdown breakdown;
+
+    /** Mean candidates C and survivors K (A3 approx configs). */
+    double avgCandidates = 0.0;
+    double avgKept = 0.0;
+};
+
+/** Harness options. */
+struct PerfOptions
+{
+    /** Episodes simulated per configuration. */
+    std::size_t episodes = 8;
+
+    /** Queries submitted per episode for single-query workloads. */
+    std::size_t queriesPerEpisode = 16;
+
+    /** RNG seed. */
+    std::uint64_t seed = 1234;
+
+    /**
+     * Wall-clock cost of sorting the 320 x 64 key matrix on the host
+     * GPU for the BERT preprocessing path; amortized over the n
+     * queries sharing the key matrix. Calibrated so the amortized
+     * overhead costs the conservative configuration ~7% and the
+     * aggressive one ~24% of throughput, as reported in Section VI-C.
+     */
+    double preprocessSeconds = 4.5e-6;
+};
+
+/**
+ * Evaluate every device/configuration on `workload`. Rows come back in
+ * presentation order: CPU, GPU, Base A3, Approx A3 (conservative),
+ * Approx A3 (aggressive).
+ */
+std::vector<PerfResult> evaluatePerformance(const Workload &workload,
+                                            const PerfOptions &options);
+
+/** A3 units needed to reach `targetOps` given one unit's throughput. */
+double unitsToMatch(double unitOpsPerSecond, double targetOps);
+
+}  // namespace a3
+
+#endif  // A3_HARNESS_PERFORMANCE_HPP

@@ -1,0 +1,32 @@
+#include "sim/dram.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+DramModel::DramModel(Cycle latencyCycles, Cycle rowIntervalCycles)
+    : latencyCycles_(latencyCycles),
+      rowIntervalCycles_(rowIntervalCycles)
+{
+    a3Assert(rowIntervalCycles_ >= 1,
+             "DRAM row interval must be at least one cycle");
+}
+
+Cycle
+DramModel::stallCycles(std::size_t onChipRows,
+                       std::size_t dramRows) const
+{
+    if (dramRows == 0)
+        return 0;
+    // The prefetcher issues the first DRAM row when the query enters
+    // the stage; the on-chip rows processed first hide up to
+    // onChipRows cycles of its latency.
+    const Cycle headStart = static_cast<Cycle>(onChipRows);
+    const Cycle ramp =
+        latencyCycles_ > headStart ? latencyCycles_ - headStart : 0;
+    const Cycle bandwidth =
+        static_cast<Cycle>(dramRows) * (rowIntervalCycles_ - 1);
+    return ramp + bandwidth;
+}
+
+}  // namespace a3

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DRAM spill model for tasks larger than the on-chip SRAM
+ * (Section III-C, "Choice of n and d").
+ *
+ * When n exceeds the SRAM capacity, A3 keeps the first maxRows rows
+ * on chip and the remainder in DRAM. Because the dot-product and
+ * output modules walk the matrices strictly sequentially, a stream
+ * prefetcher knows the whole access pattern at query start: it has
+ * the maxRows on-chip cycles as a head start, so DRAM latency is
+ * fully hidden whenever maxRows >= dramLatency — the paper's "read
+ * them from memory without exposing memory latency". The model
+ * charges:
+ *
+ *   stall = max(0, dramLatency - min(taskRows, maxRows))   (ramp-up)
+ *         + dramRows * (dramRowInterval - 1)               (bandwidth)
+ *
+ * per streaming stage, plus an access counter and a per-row energy
+ * constant (DRAM is not in Table I; the constant is documented here).
+ */
+
+#ifndef A3_SIM_DRAM_HPP
+#define A3_SIM_DRAM_HPP
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace a3 {
+
+/** Streamed-DRAM timing and energy model. */
+class DramModel
+{
+  public:
+    /**
+     * @param latencyCycles first-access latency (row activate + CAS +
+     *        transfer) at the 1 GHz core clock; default 100.
+     * @param rowIntervalCycles sustained cycles per row once
+     *        streaming; 1 means DRAM bandwidth matches the pipeline.
+     */
+    explicit DramModel(Cycle latencyCycles = 100,
+                       Cycle rowIntervalCycles = 1);
+
+    /**
+     * Stall cycles one streaming stage pays for a query that reads
+     * `dramRows` rows after `onChipRows` SRAM-resident ones.
+     */
+    Cycle stallCycles(std::size_t onChipRows,
+                      std::size_t dramRows) const;
+
+    /** Record `rows` streamed row reads. */
+    void recordReads(std::uint64_t rows) { reads_ += rows; }
+
+    std::uint64_t reads() const { return reads_; }
+
+    /**
+     * Energy per streamed 64-element row in joules. 64 bytes at
+     * ~20 pJ/byte (LPDDR4-class stream reads) = 1.28 nJ/row; this
+     * dwarfs the on-chip numbers, which is exactly why the paper
+     * sizes the SRAM to hold the largest evaluated model.
+     */
+    static constexpr double energyPerRowJ = 1.28e-9;
+
+    /** Total DRAM energy so far, joules. */
+    double energyJ() const
+    {
+        return static_cast<double>(reads_) * energyPerRowJ;
+    }
+
+    Cycle latencyCycles() const { return latencyCycles_; }
+    Cycle rowIntervalCycles() const { return rowIntervalCycles_; }
+
+  private:
+    Cycle latencyCycles_;
+    Cycle rowIntervalCycles_;
+    std::uint64_t reads_ = 0;
+};
+
+}  // namespace a3
+
+#endif  // A3_SIM_DRAM_HPP

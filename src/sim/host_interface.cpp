@@ -1,0 +1,179 @@
+#include "sim/host_interface.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+HostInterface::HostInterface(A3Accelerator &device, Cycle cyclesPerWord)
+    : device_(device), cyclesPerWord_(cyclesPerWord)
+{
+    a3Assert(cyclesPerWord_ >= 1, "link must cost at least one cycle");
+}
+
+void
+HostInterface::writeWord(std::uint32_t word)
+{
+    linkCycles_ += cyclesPerWord_;
+    switch (state_) {
+      case State::Idle: {
+        const auto op = static_cast<HostOpcode>(word);
+        switch (op) {
+          case HostOpcode::LoadKey:
+          case HostOpcode::LoadValue:
+            pendingOp_ = op;
+            state_ = State::LoadShape;
+            payload_.clear();
+            expectWords_ = 2;
+            break;
+          case HostOpcode::Submit:
+            pendingOp_ = op;
+            state_ = State::SubmitPayload;
+            payload_.clear();
+            expectWords_ = device_.config().dims;
+            break;
+          case HostOpcode::ReadOutput: {
+            device_.drain();
+            outputWords_.clear();
+            outputCursor_ = 0;
+            if (auto job = device_.popOutput()) {
+                for (float v : job->result.output)
+                    outputWords_.push_back(std::bit_cast<std::uint32_t>(v));
+            }
+            break;
+          }
+          case HostOpcode::Status:
+            // Status words: outputs ready to read, queries in flight.
+            outputWords_ = {
+                static_cast<std::uint32_t>(device_.pendingOutputs()),
+                static_cast<std::uint32_t>(device_.inFlight()),
+            };
+            outputCursor_ = 0;
+            break;
+          default:
+            fatal("unknown host opcode: ", word);
+        }
+        break;
+      }
+      case State::LoadShape:
+        payload_.push_back(word);
+        if (payload_.size() == 2) {
+            shapeRows_ = payload_[0];
+            shapeCols_ = payload_[1];
+            a3Assert(shapeRows_ > 0 && shapeCols_ > 0,
+                     "degenerate matrix shape over host link");
+            payload_.clear();
+            expectWords_ = shapeRows_ * shapeCols_;
+            state_ = State::LoadPayload;
+        }
+        break;
+      case State::LoadPayload:
+        payload_.push_back(word);
+        if (payload_.size() == expectWords_) {
+            Matrix m(shapeRows_, shapeCols_);
+            for (std::size_t r = 0; r < shapeRows_; ++r) {
+                for (std::size_t c = 0; c < shapeCols_; ++c) {
+                    m(r, c) = std::bit_cast<float>(
+                        payload_[r * shapeCols_ + c]);
+                }
+            }
+            if (pendingOp_ == HostOpcode::LoadKey)
+                stagedKey_ = std::move(m);
+            else
+                stagedValue_ = std::move(m);
+            finishLoadIfReady();
+            state_ = State::Idle;
+        }
+        break;
+      case State::SubmitPayload:
+        payload_.push_back(word);
+        if (payload_.size() == expectWords_) {
+            Vector q(expectWords_);
+            for (std::size_t i = 0; i < expectWords_; ++i)
+                q[i] = std::bit_cast<float>(payload_[i]);
+            device_.submitQuery(q);
+            state_ = State::Idle;
+        }
+        break;
+      case State::DrainOutput:
+        panic("write during output drain");
+    }
+}
+
+std::uint32_t
+HostInterface::readWord()
+{
+    linkCycles_ += cyclesPerWord_;
+    a3Assert(outputCursor_ < outputWords_.size(),
+             "host read with no pending output words");
+    return outputWords_[outputCursor_++];
+}
+
+void
+HostInterface::finishLoadIfReady()
+{
+    if (!stagedKey_ || !stagedValue_)
+        return;
+    a3Assert(stagedKey_->rows() == stagedValue_->rows() &&
+                 stagedKey_->cols() == stagedValue_->cols(),
+             "key/value shape mismatch over host link");
+    device_.loadTask(*stagedKey_, *stagedValue_);
+    stagedKey_.reset();
+    stagedValue_.reset();
+}
+
+void
+HostInterface::loadTask(const Matrix &key, const Matrix &value)
+{
+    auto send = [this](HostOpcode op, const Matrix &m) {
+        writeWord(static_cast<std::uint32_t>(op));
+        writeWord(static_cast<std::uint32_t>(m.rows()));
+        writeWord(static_cast<std::uint32_t>(m.cols()));
+        for (float v : m.data())
+            writeWord(std::bit_cast<std::uint32_t>(v));
+    };
+    send(HostOpcode::LoadKey, key);
+    send(HostOpcode::LoadValue, value);
+}
+
+void
+HostInterface::submitQuery(const Vector &query)
+{
+    a3Assert(query.size() == device_.config().dims,
+             "query width must match the device dimension");
+    writeWord(static_cast<std::uint32_t>(HostOpcode::Submit));
+    for (float v : query)
+        writeWord(std::bit_cast<std::uint32_t>(v));
+}
+
+std::optional<Vector>
+HostInterface::readOutput()
+{
+    writeWord(static_cast<std::uint32_t>(HostOpcode::ReadOutput));
+    if (outputWords_.empty())
+        return std::nullopt;
+    Vector out(outputWords_.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = std::bit_cast<float>(readWord());
+    return out;
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+HostInterface::status()
+{
+    writeWord(static_cast<std::uint32_t>(HostOpcode::Status));
+    const std::uint32_t pending = readWord();
+    const std::uint32_t marker = readWord();
+    return {pending, marker};
+}
+
+Cycle
+HostInterface::queryTransferCycles() const
+{
+    // Opcode word plus d payload words.
+    return cyclesPerWord_ *
+           (1 + static_cast<Cycle>(device_.config().dims));
+}
+
+}  // namespace a3

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Host interface model (Section VI-D test chip).
+ *
+ * The A3 prototype talks to an ARMv8 host over a "custom JTAG-like
+ * serial interface" driven by a device driver. This models that
+ * word-oriented protocol: the host writes 32-bit command and payload
+ * words, the device assembles them into matrices/queries and forwards
+ * them to the accelerator, and outputs read back word by word. Each
+ * word transfer costs a configurable number of core cycles, so the
+ * model also answers "when does the host link, not the pipeline,
+ * bound throughput?" — relevant because Section III-C argues only the
+ * query vector transfer sits on the query-response path.
+ *
+ * Protocol (one command word, then its payload):
+ *   LOAD_KEY   n d   then n*d value words   (row-major fixed-point)
+ *   LOAD_VALUE n d   then n*d value words   (must match LOAD_KEY shape)
+ *   SUBMIT     -     then d value words     (enqueues one query)
+ *   READ_OUT   -     pops one output; then d reads return its words
+ *   STATUS     -     next read returns {pending outputs, in flight}
+ *
+ * Value words travel as IEEE-754 bit patterns — the driver hands the
+ * device floats and the device's own input stage quantizes them, so
+ * host-side code never needs to know the fixed-point format.
+ */
+
+#ifndef A3_SIM_HOST_INTERFACE_HPP
+#define A3_SIM_HOST_INTERFACE_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/accelerator.hpp"
+
+namespace a3 {
+
+/** Command opcodes of the serial protocol. */
+enum class HostOpcode : std::uint32_t {
+    LoadKey = 0x1,
+    LoadValue = 0x2,
+    Submit = 0x3,
+    ReadOutput = 0x4,
+    Status = 0x5,
+};
+
+/** Word-oriented host-side driver for one A3 device. */
+class HostInterface
+{
+  public:
+    /**
+     * @param device the accelerator behind the link.
+     * @param cyclesPerWord serial cost of one 32-bit word (the GPIO
+     *        link of the test chip is slow; on-die integration would
+     *        set this to ~1).
+     */
+    explicit HostInterface(A3Accelerator &device,
+                           Cycle cyclesPerWord = 32);
+
+    /** Convenience: marshal and load both matrices. */
+    void loadTask(const Matrix &key, const Matrix &value);
+
+    /** Convenience: marshal and submit one query. */
+    void submitQuery(const Vector &query);
+
+    /**
+     * Convenience: run the device until idle and unmarshal the oldest
+     * output vector; empty when nothing is pending.
+     */
+    std::optional<Vector> readOutput();
+
+    /** Outputs waiting + queries in flight, as the STATUS word pair. */
+    std::pair<std::uint32_t, std::uint32_t> status();
+
+    /** Raw protocol access (exercised directly by tests). */
+    void writeWord(std::uint32_t word);
+    std::uint32_t readWord();
+
+    /** Total serial-link cycles spent so far. */
+    Cycle linkCycles() const { return linkCycles_; }
+
+    /** Serial cycles a d-dimensional query transfer costs — the only
+     * transfer on the query-response path (Section III-C). */
+    Cycle queryTransferCycles() const;
+
+  private:
+    enum class State {
+        Idle,
+        LoadShape,    ///< expecting n, d
+        LoadPayload,  ///< expecting n*d words
+        SubmitPayload,
+        DrainOutput,
+    };
+
+    void finishLoadIfReady();
+
+    A3Accelerator &device_;
+    Cycle cyclesPerWord_;
+    Cycle linkCycles_ = 0;
+
+    State state_ = State::Idle;
+    HostOpcode pendingOp_ = HostOpcode::Status;
+    std::size_t expectWords_ = 0;
+    std::vector<std::uint32_t> payload_;
+    std::size_t shapeRows_ = 0;
+    std::size_t shapeCols_ = 0;
+
+    std::optional<Matrix> stagedKey_;
+    std::optional<Matrix> stagedValue_;
+    std::vector<std::uint32_t> outputWords_;
+    std::size_t outputCursor_ = 0;
+};
+
+}  // namespace a3
+
+#endif  // A3_SIM_HOST_INTERFACE_HPP

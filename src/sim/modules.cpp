@@ -1,0 +1,162 @@
+#include "sim/modules.hpp"
+
+#include "fixed/pipeline_formats.hpp"
+#include "util/logging.hpp"
+
+namespace a3 {
+
+namespace {
+
+/** ceil(a / b) for positive b. */
+Cycle
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+}  // namespace
+
+Cycle
+dotProductExtraCycles(std::size_t dims)
+{
+    // 1 multiplier register + adder-tree depth + 1 max compare +
+    // 1 score-register write; 9 cycles at the paper's d = 64.
+    return 1 + static_cast<Cycle>(ceilLog2(dims)) + 1 + 1;
+}
+
+Cycle
+exponentExtraCycles()
+{
+    // 1 subtract + 2 LUT reads + 2 multiply + 2 accumulate + 2 handoff.
+    return 9;
+}
+
+Cycle
+outputExtraCycles()
+{
+    // 7-cycle divider + 2-cycle multiply-accumulate (Section III-A).
+    return 9;
+}
+
+CandidateSelectionStage::CandidateSelectionStage(const SimConfig &config,
+                                                 Sram *sortedKey)
+    : Stage("candidate_selection"), config_(config),
+      sortedKey_(sortedKey)
+{
+}
+
+Cycle
+CandidateSelectionStage::serviceTime(const QueryJob &job) const
+{
+    a3Assert(job.iterM > 0, "approx job without iteration count");
+    const Cycle init = 1 + 4;  // pointer init + buffer fill
+    const Cycle scan = ceilDiv(job.taskRows, config_.scanWidth);
+    return init + static_cast<Cycle>(job.iterM) + scan;
+}
+
+std::uint64_t
+CandidateSelectionStage::rowOps(const QueryJob &job) const
+{
+    // SRAM access accounting is in active cycles (Table I dynamic
+    // power is per actively-accessed cycle): 4 wide fill cycles (2d
+    // entries each via the borrowed multipliers) plus one cycle per
+    // steady iteration (max- and min-side refills in parallel banks).
+    if (sortedKey_)
+        sortedKey_->read(4 + job.iterM);
+    return job.iterM;
+}
+
+DotProductStage::DotProductStage(const SimConfig &config,
+                                 Sram *keyMatrix, DramModel *dram)
+    : Stage("dot_product"), config_(config), keyMatrix_(keyMatrix),
+      dram_(dram)
+{
+}
+
+Cycle
+DotProductStage::serviceTime(const QueryJob &job) const
+{
+    Cycle stall = 0;
+    if (dram_ && job.dramRows > 0) {
+        stall = dram_->stallCycles(job.taskRows - job.dramRows,
+                                   job.dramRows);
+    }
+    return static_cast<Cycle>(job.candidatesC) +
+           dotProductExtraCycles(config_.dims) + stall;
+}
+
+std::uint64_t
+DotProductStage::rowOps(const QueryJob &job) const
+{
+    // One row-wide access per cycle; DRAM-resident rows stream
+    // through the prefetcher instead of the SRAM.
+    const std::uint64_t sramRows = job.candidatesC - job.dramRows;
+    if (keyMatrix_)
+        keyMatrix_->read(sramRows);
+    if (dram_)
+        dram_->recordReads(job.dramRows);
+    return job.candidatesC;
+}
+
+ExponentStage::ExponentStage(const SimConfig &config)
+    : Stage("exponent"), config_(config)
+{
+}
+
+Cycle
+ExponentStage::serviceTime(const QueryJob &job) const
+{
+    Cycle postScoring = 0;
+    if (config_.mode == A3Mode::Approx) {
+        postScoring =
+            ceilDiv(job.candidatesC, config_.postScoringWidth);
+    }
+    return postScoring + static_cast<Cycle>(job.keptK) +
+           exponentExtraCycles();
+}
+
+std::uint64_t
+ExponentStage::rowOps(const QueryJob &job) const
+{
+    return job.keptK;
+}
+
+Cycle
+ExponentStage::auxTime(const QueryJob &job) const
+{
+    if (config_.mode != A3Mode::Approx)
+        return 0;
+    return ceilDiv(job.candidatesC, config_.postScoringWidth);
+}
+
+OutputStage::OutputStage(const SimConfig &config, Sram *valueMatrix,
+                         DramModel *dram)
+    : Stage("output"), config_(config), valueMatrix_(valueMatrix),
+      dram_(dram)
+{
+}
+
+Cycle
+OutputStage::serviceTime(const QueryJob &job) const
+{
+    Cycle stall = 0;
+    if (dram_ && job.dramRows > 0) {
+        stall = dram_->stallCycles(job.taskRows - job.dramRows,
+                                   job.dramRows);
+    }
+    return static_cast<Cycle>(job.keptK) + outputExtraCycles() +
+           stall;
+}
+
+std::uint64_t
+OutputStage::rowOps(const QueryJob &job) const
+{
+    const std::uint64_t sramRows = job.keptK - job.dramRows;
+    if (valueMatrix_)
+        valueMatrix_->read(sramRows);
+    if (dram_)
+        dram_->recordReads(job.dramRows);
+    return job.keptK;
+}
+
+}  // namespace a3

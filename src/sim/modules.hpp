@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The four concrete A3 pipeline stages.
+ *
+ * Cycle breakdown per stage (d = 64, the paper's configuration):
+ *
+ *  Candidate selection (Section V-A):
+ *      1 (pointer init) + 4 (component-buffer fill, borrowing the d
+ *      multipliers of the dot-product and output modules: 8d products
+ *      at 2d per cycle) + M (one greedy iteration per cycle in steady
+ *      state, enabled by the c = 4 pipelined refill of the circular
+ *      buffers) + ceil(n / 16) (linear scan of the greedy-score
+ *      registers at 16 entries per cycle).
+ *
+ *  Dot product (Section III, Module 1):
+ *      one key row per cycle for `rows` cycles, plus 1 (multiplier
+ *      register) + ceil(log2 d) (adder tree) + 1 (max compare) +
+ *      1 (score register write) = 9 extra cycles at d = 64.
+ *
+ *  Exponent computation (Section III Module 2; Section V-B):
+ *      base mode: one score per cycle for `rows` cycles + 9 extra
+ *      (1 subtract, 2 LUT reads, 2 multiply, 2 accumulate, 2 handoff).
+ *      approx mode: ceil(C / 16) post-scoring compare cycles (16
+ *      subtractor/comparator lanes) before the same per-row loop over
+ *      the K survivors.
+ *
+ *  Output computation (Section III, Module 3):
+ *      one value row per cycle for `rows` cycles, plus 7 (divider) +
+ *      2 (multiply-accumulate) = 9 extra cycles — the paper's
+ *      "longest latency of n + 9".
+ *
+ * With these service times the base pipeline shows exactly the paper's
+ * end-to-end latency 3n + 27 and throughput n + 9 cycles per query.
+ */
+
+#ifndef A3_SIM_MODULES_HPP
+#define A3_SIM_MODULES_HPP
+
+#include "sim/dram.hpp"
+#include "sim/sram.hpp"
+#include "sim/stage.hpp"
+
+namespace a3 {
+
+/** Extra (non-row) cycles of the dot-product stage for dimension d. */
+Cycle dotProductExtraCycles(std::size_t dims);
+
+/** Extra cycles of the exponent stage (fixed datapath depth). */
+Cycle exponentExtraCycles();
+
+/** Extra cycles of the output stage (divider + MAC depth). */
+Cycle outputExtraCycles();
+
+/** Greedy candidate-selection module (Section V-A). */
+class CandidateSelectionStage : public Stage
+{
+  public:
+    CandidateSelectionStage(const SimConfig &config, Sram *sortedKey);
+
+    Cycle serviceTime(const QueryJob &job) const override;
+
+  protected:
+    std::uint64_t rowOps(const QueryJob &job) const override;
+
+  private:
+    const SimConfig &config_;
+    Sram *sortedKey_;
+};
+
+/** Dot-product module: d multipliers + adder tree (Section III).
+ * Streams any DRAM-resident rows through the prefetcher model. */
+class DotProductStage : public Stage
+{
+  public:
+    DotProductStage(const SimConfig &config, Sram *keyMatrix,
+                    DramModel *dram = nullptr);
+
+    Cycle serviceTime(const QueryJob &job) const override;
+
+  protected:
+    std::uint64_t rowOps(const QueryJob &job) const override;
+
+  private:
+    const SimConfig &config_;
+    Sram *keyMatrix_;
+    DramModel *dram_;
+};
+
+/**
+ * Exponent-computation module, with the post-scoring selection module
+ * fused at its head in approximate mode (Section V-B: "This hardware is
+ * integrated at the beginning of the exponent computation module").
+ */
+class ExponentStage : public Stage
+{
+  public:
+    explicit ExponentStage(const SimConfig &config);
+
+    Cycle serviceTime(const QueryJob &job) const override;
+
+  protected:
+    std::uint64_t rowOps(const QueryJob &job) const override;
+    Cycle auxTime(const QueryJob &job) const override;
+
+  private:
+    const SimConfig &config_;
+};
+
+/** Output-computation module: divider + weighted accumulation.
+ * Streams any DRAM-resident value rows through the prefetcher. */
+class OutputStage : public Stage
+{
+  public:
+    OutputStage(const SimConfig &config, Sram *valueMatrix,
+                DramModel *dram = nullptr);
+
+    Cycle serviceTime(const QueryJob &job) const override;
+
+  protected:
+    std::uint64_t rowOps(const QueryJob &job) const override;
+
+  private:
+    const SimConfig &config_;
+    Sram *valueMatrix_;
+    DramModel *dram_;
+};
+
+}  // namespace a3
+
+#endif  // A3_SIM_MODULES_HPP

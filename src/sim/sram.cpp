@@ -1,0 +1,45 @@
+#include "sim/sram.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+Sram::Sram(std::string name, std::size_t capacityBytes,
+           std::size_t wordBytes)
+    : name_(std::move(name)), capacityBytes_(capacityBytes),
+      wordBytes_(wordBytes)
+{
+    a3Assert(wordBytes_ > 0, "SRAM word size must be positive");
+    a3Assert(capacityBytes_ >= wordBytes_,
+             "SRAM capacity smaller than one word");
+}
+
+void
+Sram::read(std::size_t words)
+{
+    reads_ += words;
+}
+
+void
+Sram::write(std::size_t words)
+{
+    writes_ += words;
+}
+
+void
+Sram::fill(std::size_t bytes, std::size_t writeCycles)
+{
+    a3Assert(bytes <= capacityBytes_, "SRAM ", name_, " overflow: ",
+             bytes, " bytes into ", capacityBytes_, "-byte buffer");
+    liveBytes_ = bytes;
+    write(writeCycles);
+}
+
+void
+Sram::resetCounters()
+{
+    reads_ = 0;
+    writes_ = 0;
+}
+
+}  // namespace a3

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SRAM buffer model with access accounting.
+ *
+ * A3 keeps the key matrix, the value matrix, and (with approximation)
+ * the column-sorted key matrix in on-chip SRAM (Table I lists 20 KB,
+ * 20 KB and 40 KB instances). The simulator does not model bank
+ * conflicts — the pipeline reads each structure strictly sequentially,
+ * one row (or one sorted entry) per cycle — so a capacity check plus
+ * read/write counters are sufficient for both correctness and the
+ * Figure 15 energy accounting.
+ */
+
+#ifndef A3_SIM_SRAM_HPP
+#define A3_SIM_SRAM_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace a3 {
+
+/** A named on-chip SRAM instance with capacity and access counters. */
+class Sram
+{
+  public:
+    /**
+     * @param name instance name for reports (e.g. "key_matrix").
+     * @param capacityBytes total capacity; writes beyond it panic.
+     * @param wordBytes width of one access in bytes.
+     */
+    Sram(std::string name, std::size_t capacityBytes,
+         std::size_t wordBytes);
+
+    /** Record `words` sequential word reads. */
+    void read(std::size_t words = 1);
+
+    /** Record `words` sequential word writes; checks capacity. */
+    void write(std::size_t words = 1);
+
+    /**
+     * Mark the buffer as holding `bytes` of live data, written over
+     * `writeCycles` wide row-granularity accesses (energy accounting
+     * is per actively-accessed cycle, like the read counters).
+     */
+    void fill(std::size_t bytes, std::size_t writeCycles);
+
+    /** Reset counters (not contents) between experiments. */
+    void resetCounters();
+
+    const std::string &name() const { return name_; }
+    std::size_t capacityBytes() const { return capacityBytes_; }
+    std::size_t wordBytes() const { return wordBytes_; }
+    std::size_t liveBytes() const { return liveBytes_; }
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t accesses() const { return reads_ + writes_; }
+
+  private:
+    std::string name_;
+    std::size_t capacityBytes_;
+    std::size_t wordBytes_;
+    std::size_t liveBytes_ = 0;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+}  // namespace a3
+
+#endif  // A3_SIM_SRAM_HPP

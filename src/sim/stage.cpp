@@ -1,0 +1,29 @@
+#include "sim/stage.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+void
+Stage::accept(std::unique_ptr<QueryJob> job, Cycle now)
+{
+    a3Assert(idle(), "stage ", name_, " accepted a query while busy");
+    a3Assert(job != nullptr, "stage ", name_, " accepted a null query");
+    const Cycle service = serviceTime(*job);
+    a3Assert(service > 0, "stage ", name_, " has zero service time");
+    stats_.activeCycles += service;
+    stats_.rowOps += rowOps(*job);
+    stats_.auxCycles += auxTime(*job);
+    doneAt_ = now + service;
+    job_ = std::move(job);
+}
+
+std::unique_ptr<QueryJob>
+Stage::release(Cycle now)
+{
+    a3Assert(done(now), "stage ", name_, " released an unfinished query");
+    ++stats_.jobs;
+    return std::move(job_);
+}
+
+}  // namespace a3

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Pipeline-stage framework of the cycle-level simulator.
+ *
+ * Each hardware module is a Stage holding at most one QueryJob. The
+ * cycle loop asks the most-downstream stage first whether its job has
+ * completed and whether the next latch is free, so a query drains
+ * through the pipeline with the same back-pressure behaviour as the
+ * RTL: a stage cannot accept a new query until it has handed its
+ * current one downstream.
+ *
+ * The per-query cycle breakdown inside a stage (its service time) is an
+ * analytic function of the work sizes resolved by the functional model
+ * (n, M, C, K); the paper's formulas — latency 3n + 27, throughput one
+ * query per n + 9 cycles for the base design, M + C + 2K + alpha with
+ * approximation — emerge from the interaction of these service times
+ * with the latch back-pressure, and the tests assert them exactly.
+ */
+
+#ifndef A3_SIM_STAGE_HPP
+#define A3_SIM_STAGE_HPP
+
+#include <memory>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace a3 {
+
+/** Accumulated activity of one stage, consumed by the energy model. */
+struct StageStats
+{
+    /** Cycles the stage was actively processing a query. */
+    Cycle activeCycles = 0;
+
+    /** Queries completed by this stage. */
+    std::uint64_t jobs = 0;
+
+    /** Total datapath row-operations performed (for sanity checks). */
+    std::uint64_t rowOps = 0;
+
+    /**
+     * Cycles attributable to an auxiliary fused unit (the post-scoring
+     * comparators inside the exponent stage); a subset of activeCycles
+     * that the energy model charges at the auxiliary unit's power.
+     */
+    Cycle auxCycles = 0;
+};
+
+/** One pipeline module holding at most one in-flight query. */
+class Stage
+{
+  public:
+    explicit Stage(std::string name) : name_(std::move(name)) {}
+    virtual ~Stage() = default;
+
+    Stage(const Stage &) = delete;
+    Stage &operator=(const Stage &) = delete;
+
+    /** True when the stage can latch a new query this cycle. */
+    bool idle() const { return !job_; }
+
+    /** Latch a query; must be idle. Computes the completion cycle. */
+    void accept(std::unique_ptr<QueryJob> job, Cycle now);
+
+    /** True when the resident query has finished its service time. */
+    bool done(Cycle now) const { return job_ && now >= doneAt_; }
+
+    /** Release the completed query to the caller; must be done(). */
+    std::unique_ptr<QueryJob> release(Cycle now);
+
+    const std::string &name() const { return name_; }
+    const StageStats &stats() const { return stats_; }
+
+    /** Service time the stage would charge this job (exposed for tests). */
+    virtual Cycle serviceTime(const QueryJob &job) const = 0;
+
+  protected:
+    /** Datapath rows this job streams through the stage. */
+    virtual std::uint64_t rowOps(const QueryJob &job) const = 0;
+
+    /** Cycles of serviceTime() spent in a fused auxiliary unit. */
+    virtual Cycle auxTime(const QueryJob &) const { return 0; }
+
+  private:
+    std::string name_;
+    std::unique_ptr<QueryJob> job_;
+    Cycle doneAt_ = 0;
+    StageStats stats_;
+};
+
+}  // namespace a3
+
+#endif  // A3_SIM_STAGE_HPP

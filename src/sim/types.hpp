@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared types of the A3 cycle-level simulator.
+ *
+ * The simulator is cycle-stepped: a global cycle counter advances one
+ * cycle at a time and pipeline stages exchange queries through
+ * single-entry latches, exactly one query resident per stage as in the
+ * paper ("our proposed hardware can handle three queries at a time in a
+ * pipelined manner"). Functional values are produced by the bit-accurate
+ * fixed-point model in src/attention, so the simulator adds timing and
+ * activity (energy) accounting on top of faithful data.
+ */
+
+#ifndef A3_SIM_TYPES_HPP
+#define A3_SIM_TYPES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/config.hpp"
+#include "attention/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Operating mode of the accelerator. */
+enum class A3Mode {
+    Base,    ///< Section III pipeline, no approximation
+    Approx,  ///< Section V pipeline with candidate + post-scoring stages
+};
+
+/** Static configuration of one A3 unit. */
+struct SimConfig
+{
+    /** Maximum number of key/value rows the SRAM is sized for. */
+    std::size_t maxRows = 320;
+
+    /** Embedding dimension the datapath is sized for. */
+    std::size_t dims = 64;
+
+    /** Input quantization: integer bits (paper: 4). */
+    int intBits = 4;
+
+    /** Input quantization: fraction bits (paper: 4). */
+    int fracBits = 4;
+
+    /** Clock frequency in GHz (paper: 1 GHz). */
+    double clockGhz = 1.0;
+
+    /** Base or approximate pipeline. */
+    A3Mode mode = A3Mode::Base;
+
+    /** Approximation knobs (used in Approx mode). */
+    ApproxConfig approx = ApproxConfig::conservative();
+
+    /** Greedy-score scan width in entries per cycle (Section V-A). */
+    std::size_t scanWidth = 16;
+
+    /** Post-scoring comparator throughput in entries/cycle (V-B). */
+    std::size_t postScoringWidth = 16;
+
+    /**
+     * Allow tasks with more rows than the SRAM holds; the overflow
+     * streams from DRAM through a prefetcher (Section III-C). Base
+     * mode only — the sorted-key structure must stay on chip.
+     */
+    bool allowDramSpill = true;
+
+    /** Maximum rows accepted beyond maxRows when spilling. */
+    std::size_t maxDramRows = 1024;
+
+    /** DRAM first-access latency in core cycles. */
+    Cycle dramLatency = 100;
+
+    /** Sustained DRAM cycles per streamed row (1 = full bandwidth). */
+    Cycle dramRowInterval = 1;
+};
+
+/**
+ * One query's journey through the pipeline, with the per-stage work
+ * sizes resolved by the functional model and every stage timestamped.
+ */
+struct QueryJob
+{
+    std::uint64_t id = 0;
+
+    /** The query vector (retained for the output queue consumer). */
+    Vector query;
+
+    /** Functional result (bit-accurate fixed-point data). */
+    AttentionResult result;
+
+    /** Rows n of the loaded task (scan length for greedy scores). */
+    std::size_t taskRows = 0;
+
+    /** Rows resident in DRAM (taskRows minus the SRAM capacity). */
+    std::size_t dramRows = 0;
+
+    /** Work sizes: greedy iterations M (0 in base mode). */
+    std::size_t iterM = 0;
+
+    /** Candidate count C fed to the dot-product stage (n in base). */
+    std::size_t candidatesC = 0;
+
+    /** Post-scoring survivors K (n in base mode). */
+    std::size_t keptK = 0;
+
+    /** Cycle the query entered the device queue. */
+    Cycle submitCycle = 0;
+
+    /** Cycle the first stage accepted the query. */
+    Cycle startCycle = 0;
+
+    /** Cycle the output vector reached the output queue. */
+    Cycle finishCycle = 0;
+
+    /** End-to-end latency including device-queue wait. */
+    Cycle latency() const { return finishCycle - submitCycle; }
+
+    /** Pipeline latency from first-stage entry to output (what the
+     * paper's Figure 14b reports — queueing excluded). */
+    Cycle pipelineLatency() const { return finishCycle - startCycle; }
+};
+
+}  // namespace a3
+
+#endif  // A3_SIM_TYPES_HPP

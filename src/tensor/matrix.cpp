@@ -1,0 +1,122 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<float>> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        a3Assert(rows[r].size() == m.cols_,
+                 "ragged row ", r, " in Matrix::fromRows");
+        for (std::size_t c = 0; c < m.cols_; ++c)
+            m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+float &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    a3Assert(r < rows_ && c < cols_,
+             "matrix index (", r, ",", c, ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+float
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    a3Assert(r < rows_ && c < cols_,
+             "matrix index (", r, ",", c, ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+std::span<const float>
+Matrix::row(std::size_t r) const
+{
+    a3Assert(r < rows_, "row ", r, " out of ", rows_);
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::span<float>
+Matrix::row(std::size_t r)
+{
+    a3Assert(r < rows_, "row ", r, " out of ", rows_);
+    return {data_.data() + r * cols_, cols_};
+}
+
+Vector
+Matrix::column(std::size_t c) const
+{
+    a3Assert(c < cols_, "column ", c, " out of ", cols_);
+    Vector out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = (*this)(r, c);
+    return out;
+}
+
+Vector
+Matrix::matvec(const Vector &x) const
+{
+    a3Assert(x.size() == cols_,
+             "matvec size mismatch: ", x.size(), " vs cols ", cols_);
+    Vector out(rows_, 0.0f);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        float sum = 0.0f;
+        const float *rowPtr = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c)
+            sum += rowPtr[c] * x[c];
+        out[r] = sum;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+bool
+Matrix::operator==(const Matrix &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+}
+
+float
+dot(std::span<const float> a, std::span<const float> b)
+{
+    a3Assert(a.size() == b.size(), "dot size mismatch");
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+float
+maxAbsDiff(const Vector &a, const Vector &b)
+{
+    a3Assert(a.size() == b.size(), "maxAbsDiff size mismatch");
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::fabs(a[i] - b[i]));
+    return worst;
+}
+
+}  // namespace a3

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dense row-major matrix / vector substrate.
+ *
+ * The attention library and the cycle simulator both operate on small,
+ * dense key/value matrices (n up to a few hundred, d around 64), so a
+ * simple owned row-major buffer with bounds-checked accessors is the
+ * right tool; no BLAS dependency is warranted or desired.
+ */
+
+#ifndef A3_TENSOR_MATRIX_HPP
+#define A3_TENSOR_MATRIX_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace a3 {
+
+/** Dense vector of floats (aliased for readability at call sites). */
+using Vector = std::vector<float>;
+
+/** Dense row-major matrix of floats with checked element access. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from nested initializer data; all rows must be equal width. */
+    static Matrix fromRows(const std::vector<std::vector<float>> &rows);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    /** Checked element access. */
+    float &at(std::size_t r, std::size_t c);
+    float at(std::size_t r, std::size_t c) const;
+
+    /** Unchecked element access for hot loops. */
+    float &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    float operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** View of row `r` as a contiguous span. */
+    std::span<const float> row(std::size_t r) const;
+    std::span<float> row(std::size_t r);
+
+    /** Copy of column `c`. */
+    Vector column(std::size_t c) const;
+
+    /** Underlying contiguous storage (row-major). */
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** Matrix-vector product; `x.size()` must equal cols(). */
+    Vector matvec(const Vector &x) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Exact element-wise equality (used by tests). */
+    bool operator==(const Matrix &other) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** Dot product; sizes must match. */
+float dot(std::span<const float> a, std::span<const float> b);
+
+/** Largest absolute element difference between two equally-sized vectors. */
+float maxAbsDiff(const Vector &a, const Vector &b);
+
+}  // namespace a3
+
+#endif  // A3_TENSOR_MATRIX_HPP

@@ -1,0 +1,53 @@
+#include "util/csv.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file: ", path);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needsQuoting =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needsQuoting)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::close()
+{
+    if (out_.is_open())
+        out_.close();
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+}  // namespace a3

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV writer so bench binaries can optionally dump machine-readable
+ * results (one file per figure) next to the human-readable tables.
+ */
+
+#ifndef A3_UTIL_CSV_HPP
+#define A3_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace a3 {
+
+/** Stream-style CSV writer with RFC-4180 quoting. */
+class CsvWriter
+{
+  public:
+    /** Open `path` for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row of cells, quoting where necessary. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Flush and close the underlying stream. */
+    void close();
+
+    ~CsvWriter();
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+}  // namespace a3
+
+#endif  // A3_UTIL_CSV_HPP

@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+void
+RunningStat::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta *
+           static_cast<double>(count_) * static_cast<double>(other.count_) /
+           total;
+    mean_ = (mean_ * static_cast<double>(count_) +
+             other.mean_ * static_cast<double>(other.count_)) / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::clear()
+{
+    *this = RunningStat();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    a3Assert(hi > lo, "histogram range inverted");
+    a3Assert(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double sample)
+{
+    ++total_;
+    if (sample < lo_) {
+        ++underflow_;
+    } else if (sample >= hi_) {
+        ++overflow_;
+    } else {
+        auto index = static_cast<std::size_t>((sample - lo_) / width_);
+        index = std::min(index, counts_.size() - 1);
+        ++counts_[index];
+    }
+}
+
+std::size_t
+Histogram::bucket(std::size_t index) const
+{
+    a3Assert(index < counts_.size(), "histogram bucket out of range");
+    return counts_[index];
+}
+
+double
+Histogram::bucketLow(std::size_t index) const
+{
+    return lo_ + width_ * static_cast<double>(index);
+}
+
+double
+Histogram::cumulativeFraction(std::size_t index) const
+{
+    a3Assert(index < counts_.size(), "histogram bucket out of range");
+    std::size_t inRange = total_ - underflow_ - overflow_;
+    if (inRange == 0)
+        return 0.0;
+    std::size_t running = 0;
+    for (std::size_t i = 0; i <= index; ++i)
+        running += counts_[i];
+    return static_cast<double>(running) / static_cast<double>(inRange);
+}
+
+double
+percentile(std::vector<double> samples, double fraction)
+{
+    a3Assert(!samples.empty(), "percentile of empty sample set");
+    a3Assert(fraction >= 0.0 && fraction <= 1.0,
+             "percentile fraction must lie in [0, 1]");
+    std::sort(samples.begin(), samples.end());
+    const double rank = fraction * static_cast<double>(samples.size() - 1);
+    const auto below = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(below);
+    if (below + 1 >= samples.size())
+        return samples.back();
+    return samples[below] * (1.0 - frac) + samples[below + 1] * frac;
+}
+
+}  // namespace a3

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by the experiment harness.
+ */
+
+#ifndef A3_UTIL_STATS_HPP
+#define A3_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace a3 {
+
+/**
+ * Single-pass mean / variance / extrema accumulator (Welford's algorithm),
+ * numerically stable for long runs of accuracy or cycle samples.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double sample);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void clear();
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width histogram over [lo, hi) with under/overflow buckets,
+ * used to characterize score and weight distributions.
+ */
+class Histogram
+{
+  public:
+    /** @param bins number of equal-width buckets between lo and hi. */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double sample);
+
+    /** Count in bucket `index` (0-based, excludes under/overflow). */
+    std::size_t bucket(std::size_t index) const;
+
+    /** Samples below the histogram range. */
+    std::size_t underflow() const { return underflow_; }
+
+    /** Samples at or above the histogram range. */
+    std::size_t overflow() const { return overflow_; }
+
+    /** Total samples recorded, including under/overflow. */
+    std::size_t total() const { return total_; }
+
+    /** Number of in-range buckets. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Inclusive lower edge of bucket `index`. */
+    double bucketLow(std::size_t index) const;
+
+    /** Fraction of in-range mass at or below bucket `index`. */
+    double cumulativeFraction(std::size_t index) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+/** Exact percentile (linear interpolation) of a sample vector; sorts a copy. */
+double percentile(std::vector<double> samples, double fraction);
+
+}  // namespace a3
+
+#endif  // A3_UTIL_STATS_HPP

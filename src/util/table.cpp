@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> cells)
+{
+    a3Assert(rows_.empty(), "table header must precede rows");
+    header_ = std::move(cells);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    a3Assert(header_.empty() || cells.size() == header_.size(),
+             "row width ", cells.size(), " != header width ",
+             header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::ratio(double value, int precision)
+{
+    return num(value, precision) + "x";
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    return num(100.0 * fraction, precision) + "%";
+}
+
+std::string
+Table::render() const
+{
+    // Compute column widths over header and all rows.
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto fold = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    fold(header_);
+    for (const auto &row : rows_)
+        fold(row);
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emitRow = [&os, &widths](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cells[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emitRow(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        emitRow(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+}  // namespace a3

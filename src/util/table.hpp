@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark output.
+ *
+ * Every bench binary prints the rows/series of the corresponding paper
+ * table or figure through this printer so the output format is uniform
+ * and easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef A3_UTIL_TABLE_HPP
+#define A3_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace a3 {
+
+/** A simple column-aligned text table with a title and header row. */
+class Table
+{
+  public:
+    /** @param title printed above the table, e.g. "Figure 11a". */
+    explicit Table(std::string title);
+
+    /** Set the header cells; must be called before the first row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one row; its width must match the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with `precision` digits. */
+    static std::string num(double value, int precision = 3);
+
+    /** Convenience: format a value as "12.3x" speedup notation. */
+    static std::string ratio(double value, int precision = 2);
+
+    /** Convenience: format a fraction as a percentage, e.g. "83.1%". */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace a3
+
+#endif  // A3_UTIL_TABLE_HPP

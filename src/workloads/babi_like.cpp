@@ -1,0 +1,53 @@
+#include "workloads/babi_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/metrics.hpp"
+
+namespace a3 {
+
+BabiLikeWorkload::BabiLikeWorkload()
+{
+    params_.dims = 64;
+    // Calibrated so exact attention places the top weight on the
+    // relevant statement ~82.6% of the time at n ~ 20.
+    params_.relevantMargin = 3.5;
+    params_.marginJitter = 1.1;
+}
+
+AttentionTask
+BabiLikeWorkload::sample(Rng &rng) const
+{
+    // Episode length: exponential around the paper's average of 20
+    // statements, clamped to [5, 50] (max 50 in the bAbI test set).
+    const double drawn = 5.0 - 15.0 * std::log(1.0 - rng.uniform());
+    const auto n = static_cast<std::size_t>(
+        std::clamp(drawn, 5.0, 50.0));
+
+    EmbeddingEpisode ep = generateEpisode(rng, params_, n, 1);
+    AttentionTask task;
+    task.key = std::move(ep.key);
+    task.value = std::move(ep.value);
+    task.queries.push_back(std::move(ep.query));
+    task.relevant.push_back(std::move(ep.relevantRows));
+    return task;
+}
+
+double
+BabiLikeWorkload::score(const AttentionTask &task,
+                        std::size_t queryIndex,
+                        const AttentionResult &result) const
+{
+    return argmaxAccuracy(result.weights, task.relevant[queryIndex]);
+}
+
+TimeShareProfile
+BabiLikeWorkload::timeShare() const
+{
+    // Calibrated to Figure 3: attention ~40% of whole inference and
+    // ~80% of query-response time for MemN2N.
+    return {1.25, 0.25};
+}
+
+}  // namespace a3

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * MemN2N / bAbI-like workload.
+ *
+ * Facebook bAbI QA episodes contain a handful of short statements and
+ * one question whose answer hinges on a single relevant statement
+ * (Figure 2 of the paper). Our analogue plants one relevant row in a
+ * small episode (average n = 20, maximum 50 as the paper reports for
+ * the bAbI test set), and scores a query as correct when the largest
+ * attention weight lands on that row — the retrieval step MemN2N's
+ * answer depends on. The embedding margin is calibrated so exact
+ * attention scores ~0.826, the paper's no-approximation accuracy.
+ */
+
+#ifndef A3_WORKLOADS_BABI_LIKE_HPP
+#define A3_WORKLOADS_BABI_LIKE_HPP
+
+#include "workloads/embedding.hpp"
+#include "workloads/workload.hpp"
+
+namespace a3 {
+
+/** Synthetic stand-in for MemN2N running bAbI QA. */
+class BabiLikeWorkload : public Workload
+{
+  public:
+    BabiLikeWorkload();
+
+    std::string name() const override { return "MemN2N"; }
+    std::string metricName() const override { return "accuracy"; }
+    AttentionTask sample(Rng &rng) const override;
+    double score(const AttentionTask &task, std::size_t queryIndex,
+                 const AttentionResult &result) const override;
+    std::size_t typicalRows() const override { return 20; }
+    std::size_t recallTopK() const override { return 2; }
+    double paperBaselineMetric() const override { return 0.826; }
+    TimeShareProfile timeShare() const override;
+
+  private:
+    EmbeddingParams params_;
+};
+
+}  // namespace a3
+
+#endif  // A3_WORKLOADS_BABI_LIKE_HPP

@@ -1,0 +1,107 @@
+#include "workloads/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+double
+EmbeddingParams::componentScale(std::size_t d) const
+{
+    return std::pow(static_cast<double>(d), -0.25);
+}
+
+Vector
+randomEmbedding(Rng &rng, std::size_t dims, double scale)
+{
+    Vector v(dims);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal(0.0, scale));
+    return v;
+}
+
+EmbeddingEpisode
+generateEpisode(Rng &rng, const EmbeddingParams &params,
+                std::size_t rows, std::size_t relevantCount)
+{
+    a3Assert(rows > 0, "episode needs at least one row");
+    a3Assert(relevantCount <= rows,
+             "more relevant rows than rows: ", relevantCount, " > ",
+             rows);
+    const std::size_t d = params.dims;
+    const double s = params.componentScale(d);
+
+    EmbeddingEpisode ep;
+    ep.query = randomEmbedding(rng, d, s);
+
+    // Alignment direction: the query restricted to its `alignDims`
+    // strongest components (all components when alignDims == 0).
+    // Adding (margin / |a|^2) * a to a key shifts its dot product with
+    // the query by exactly `margin`, concentrated on those feature
+    // dimensions the way trained embeddings concentrate agreement.
+    Vector alignDir = ep.query;
+    if (params.alignDims > 0 && params.alignDims < d) {
+        std::vector<std::size_t> byMagnitude(d);
+        for (std::size_t j = 0; j < d; ++j)
+            byMagnitude[j] = j;
+        std::sort(byMagnitude.begin(), byMagnitude.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return std::fabs(ep.query[a]) >
+                             std::fabs(ep.query[b]);
+                  });
+        for (std::size_t rank = params.alignDims; rank < d; ++rank)
+            alignDir[byMagnitude[rank]] = 0.0f;
+    }
+    double qNormSq = 0.0;
+    for (float x : alignDir)
+        qNormSq += static_cast<double>(x) * static_cast<double>(x);
+    a3Assert(qNormSq > 0.0, "degenerate zero query");
+
+    // Pick distinct relevant positions.
+    std::vector<std::uint32_t> order(rows);
+    for (std::size_t r = 0; r < rows; ++r)
+        order[r] = static_cast<std::uint32_t>(r);
+    rng.shuffle(order);
+    ep.relevantRows.assign(order.begin(),
+                           order.begin() +
+                               static_cast<std::ptrdiff_t>(relevantCount));
+    std::sort(ep.relevantRows.begin(), ep.relevantRows.end());
+
+    ep.key = Matrix(rows, d);
+    ep.value = Matrix(rows, d);
+    for (std::size_t r = 0; r < rows; ++r) {
+        Vector k = randomEmbedding(rng, d, s);
+        // Heavy-tailed component spikes on every row (see spikeProb).
+        for (std::size_t j = 0; j < d; ++j) {
+            if (rng.bernoulli(params.spikeProb)) {
+                k[j] += static_cast<float>(
+                    rng.normal(0.0, params.spikeScale * s));
+            }
+        }
+        const bool isRelevant =
+            std::binary_search(ep.relevantRows.begin(),
+                               ep.relevantRows.end(),
+                               static_cast<std::uint32_t>(r));
+        if (isRelevant) {
+            const double margin = std::max(
+                0.5, rng.normal(params.relevantMargin,
+                                params.marginJitter));
+            const double shift = margin / qNormSq;
+            for (std::size_t j = 0; j < d; ++j) {
+                k[j] += static_cast<float>(shift *
+                                           static_cast<double>(
+                                               alignDir[j]));
+            }
+        }
+        Vector v = randomEmbedding(rng, d, s);
+        for (std::size_t j = 0; j < d; ++j) {
+            ep.key(r, j) = k[j];
+            ep.value(r, j) = v[j];
+        }
+    }
+    return ep;
+}
+
+}  // namespace a3

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic embedding generation.
+ *
+ * The paper evaluates on embeddings produced by trained models
+ * (MemN2N, KV-MemN2N, BERT). We cannot ship those checkpoints, so the
+ * workloads synthesize key/value/query embeddings with the property
+ * the approximation schemes actually depend on: a handful of rows
+ * whose dot product with the query clearly exceeds the bulk, a noisy
+ * margin so even exact attention is imperfect (matching the paper's
+ * sub-1.0 no-approximation baselines), and distractor scores whose
+ * post-softmax weights are near zero.
+ *
+ * Geometry: with per-component scale s = d^{-1/4}, the dot product of
+ * two independent random embeddings is ~N(0, 1), so score margins are
+ * directly interpretable in "sigmas of distractor noise".
+ */
+
+#ifndef A3_WORKLOADS_EMBEDDING_HPP
+#define A3_WORKLOADS_EMBEDDING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+
+/** Controls the geometry of one synthetic retrieval episode. */
+struct EmbeddingParams
+{
+    /** Embedding dimension (paper: 64 for all workloads). */
+    std::size_t dims = 64;
+
+    /**
+     * Mean dot-product margin of a relevant row over the distractor
+     * distribution, in units of the distractor score sigma.
+     */
+    double relevantMargin = 3.2;
+
+    /** Std-dev of the margin across relevant rows / episodes. */
+    double marginJitter = 1.0;
+
+    /**
+     * Number of embedding dimensions carrying the relevant-row
+     * alignment (the query's strongest components). Trained encoders
+     * concentrate topical agreement on a few feature dimensions, which
+     * is precisely the structure the greedy candidate search exploits;
+     * 0 spreads the alignment across all dimensions.
+     */
+    std::size_t alignDims = 6;
+
+    /**
+     * Probability that a distractor component carries a heavy-tailed
+     * spike. Trained embeddings are leptokurtic; spiky distractor
+     * components are exactly what makes the greedy search spend its
+     * iteration budget on non-relevant rows, so without them candidate
+     * selection would look unrealistically easy.
+     */
+    double spikeProb = 0.03;
+
+    /** Spike magnitude in units of the component scale. */
+    double spikeScale = 3.0;
+
+    /** Per-component scale; default d^{-1/4} normalizes score noise. */
+    double componentScale(std::size_t d) const;
+};
+
+/** A generated episode: matrices plus the planted relevant rows. */
+struct EmbeddingEpisode
+{
+    Matrix key;
+    Matrix value;
+    Vector query;
+    std::vector<std::uint32_t> relevantRows;
+};
+
+/**
+ * Generate one episode with `rows` key/value rows of which
+ * `relevantCount` (chosen at random positions) are aligned with the
+ * query by relevantMargin +- marginJitter sigmas.
+ */
+EmbeddingEpisode generateEpisode(Rng &rng, const EmbeddingParams &params,
+                                 std::size_t rows,
+                                 std::size_t relevantCount);
+
+/** Fill a vector with iid N(0, scale^2) components. */
+Vector randomEmbedding(Rng &rng, std::size_t dims, double scale);
+
+}  // namespace a3
+
+#endif  // A3_WORKLOADS_EMBEDDING_HPP

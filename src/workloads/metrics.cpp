@@ -1,0 +1,120 @@
+#include "workloads/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+std::vector<std::uint32_t>
+topKIndices(const Vector &values, std::size_t k)
+{
+    std::vector<std::uint32_t> order(values.size());
+    std::iota(order.begin(), order.end(), 0u);
+    k = std::min(k, values.size());
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(k),
+                      order.end(),
+                      [&values](std::uint32_t a, std::uint32_t b) {
+                          if (values[a] != values[b])
+                              return values[a] > values[b];
+                          return a < b;  // deterministic tie-break
+                      });
+    order.resize(k);
+    return order;
+}
+
+double
+argmaxAccuracy(const Vector &weights,
+               const std::vector<std::uint32_t> &relevant)
+{
+    a3Assert(!weights.empty(), "accuracy of empty weight vector");
+    const auto top = topKIndices(weights, 1);
+    return std::find(relevant.begin(), relevant.end(), top[0]) !=
+                   relevant.end()
+               ? 1.0
+               : 0.0;
+}
+
+namespace {
+
+/** Keep only the positive-weight prefix of a ranking. Rows excluded by
+ * approximation carry exactly zero weight and are never "retrieved",
+ * so ties at zero must not enter the ranking. */
+std::vector<std::uint32_t>
+positivePrefix(const Vector &weights, std::vector<std::uint32_t> ranking)
+{
+    std::size_t live = 0;
+    while (live < ranking.size() && weights[ranking[live]] > 0.0f)
+        ++live;
+    ranking.resize(live);
+    return ranking;
+}
+
+}  // namespace
+
+double
+averagePrecision(const Vector &weights,
+                 const std::vector<std::uint32_t> &relevant)
+{
+    a3Assert(!relevant.empty(), "average precision with no relevant rows");
+    const auto ranking =
+        positivePrefix(weights, topKIndices(weights, weights.size()));
+    double hits = 0.0;
+    double apSum = 0.0;
+    for (std::size_t rank = 0; rank < ranking.size(); ++rank) {
+        const bool hit =
+            std::find(relevant.begin(), relevant.end(),
+                      ranking[rank]) != relevant.end();
+        if (hit) {
+            hits += 1.0;
+            apSum += hits / static_cast<double>(rank + 1);
+        }
+    }
+    return apSum / static_cast<double>(relevant.size());
+}
+
+double
+f1TopK(const Vector &weights,
+       const std::vector<std::uint32_t> &relevant, std::size_t k)
+{
+    a3Assert(!relevant.empty(), "F1 with no relevant rows");
+    const auto predicted = positivePrefix(weights, topKIndices(weights, k));
+    if (predicted.empty())
+        return 0.0;
+    std::size_t overlap = 0;
+    for (std::uint32_t p : predicted) {
+        if (std::find(relevant.begin(), relevant.end(), p) !=
+            relevant.end()) {
+            ++overlap;
+        }
+    }
+    if (overlap == 0)
+        return 0.0;
+    const double precision =
+        static_cast<double>(overlap) /
+        static_cast<double>(predicted.size());
+    const double recall = static_cast<double>(overlap) /
+                          static_cast<double>(relevant.size());
+    return 2.0 * precision * recall / (precision + recall);
+}
+
+double
+topKRecall(const Vector &exactScores,
+           const std::vector<std::uint32_t> &selected, std::size_t k)
+{
+    a3Assert(!exactScores.empty(), "recall over empty score vector");
+    const auto trueTop = topKIndices(exactScores, k);
+    std::size_t found = 0;
+    for (std::uint32_t row : trueTop) {
+        if (std::find(selected.begin(), selected.end(), row) !=
+            selected.end()) {
+            ++found;
+        }
+    }
+    return static_cast<double>(found) /
+           static_cast<double>(trueTop.size());
+}
+
+}  // namespace a3

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Task metrics used by the accuracy evaluation (Section VI-B).
+ *
+ * The paper reports accuracy for bAbI, mean average precision for
+ * WikiMovies, and F1 for SQuAD; Figure 13b additionally reports the
+ * portion of the true top-2/top-5 entries retained by approximation.
+ * Our synthetic analogues score attention results against the planted
+ * relevant rows with the same metric families.
+ */
+
+#ifndef A3_WORKLOADS_METRICS_HPP
+#define A3_WORKLOADS_METRICS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/** Indices of the k largest entries of `values`, descending. */
+std::vector<std::uint32_t> topKIndices(const Vector &values,
+                                       std::size_t k);
+
+/** 1.0 when the argmax of `weights` is a relevant row, else 0.0. */
+double argmaxAccuracy(const Vector &weights,
+                      const std::vector<std::uint32_t> &relevant);
+
+/**
+ * Average precision of ranking rows by `weights` against the relevant
+ * set (the per-query term of MAP).
+ */
+double averagePrecision(const Vector &weights,
+                        const std::vector<std::uint32_t> &relevant);
+
+/**
+ * F1 between the top-k rows of `weights` and the relevant set
+ * (our SQuAD-like span-overlap analogue).
+ */
+double f1TopK(const Vector &weights,
+              const std::vector<std::uint32_t> &relevant, std::size_t k);
+
+/**
+ * Fraction of the true top-k rows (by exact score) present in the
+ * `selected` row set — Figure 13b's "portion of top entries selected".
+ */
+double topKRecall(const Vector &exactScores,
+                  const std::vector<std::uint32_t> &selected,
+                  std::size_t k);
+
+}  // namespace a3
+
+#endif  // A3_WORKLOADS_METRICS_HPP

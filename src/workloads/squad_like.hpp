@@ -1,0 +1,57 @@
+/**
+ * @file
+ * BERT / SQuAD-like self-attention workload.
+ *
+ * BERT-base processes a 320-token passage+question sequence with
+ * self-attention: one shared key matrix answers n = 320 queries, which
+ * is what amortizes A3's preprocessing (Sections IV-A and VI-C). Our
+ * analogue builds a 320-token episode in which a block of question
+ * tokens must attend to the answer span; the metric is the F1 overlap
+ * between each question token's top-5 attended positions and the true
+ * span — the span-retrieval step SQuAD F1 rides on. The remaining
+ * tokens issue queries too (they dominate the timing) but carry no
+ * ground truth and are excluded from the metric. Margins are
+ * calibrated for an exact-attention F1 near the paper's 0.888.
+ */
+
+#ifndef A3_WORKLOADS_SQUAD_LIKE_HPP
+#define A3_WORKLOADS_SQUAD_LIKE_HPP
+
+#include "workloads/embedding.hpp"
+#include "workloads/workload.hpp"
+
+namespace a3 {
+
+/** Synthetic stand-in for BERT-base running SQuAD v1.1. */
+class SquadLikeWorkload : public Workload
+{
+  public:
+    SquadLikeWorkload();
+
+    std::string name() const override { return "BERT"; }
+    std::string metricName() const override { return "F1"; }
+    AttentionTask sample(Rng &rng) const override;
+    double score(const AttentionTask &task, std::size_t queryIndex,
+                 const AttentionResult &result) const override;
+    std::size_t typicalRows() const override { return 320; }
+    bool selfAttention() const override { return true; }
+    std::size_t recallTopK() const override { return 5; }
+    double paperBaselineMetric() const override { return 0.888; }
+    TimeShareProfile timeShare() const override;
+
+    /** Tokens in one sequence (the paper's n = 320). */
+    static constexpr std::size_t sequenceLength = 320;
+
+    /** Question tokens carrying ground truth per episode. */
+    static constexpr std::size_t questionTokens = 16;
+
+    /** Answer-span length. */
+    static constexpr std::size_t spanLength = 5;
+
+  private:
+    EmbeddingParams params_;
+};
+
+}  // namespace a3
+
+#endif  // A3_WORKLOADS_SQUAD_LIKE_HPP

@@ -1,0 +1,19 @@
+#include "workloads/workload.hpp"
+
+#include "workloads/babi_like.hpp"
+#include "workloads/squad_like.hpp"
+#include "workloads/wikimovies_like.hpp"
+
+namespace a3 {
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    all.push_back(std::make_unique<BabiLikeWorkload>());
+    all.push_back(std::make_unique<WikiMoviesLikeWorkload>());
+    all.push_back(std::make_unique<SquadLikeWorkload>());
+    return all;
+}
+
+}  // namespace a3

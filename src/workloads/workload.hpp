@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Workload abstraction: episodes of attention tasks with ground truth.
+ *
+ * Each workload is the synthetic analogue of one paper benchmark
+ * (Section VI-A) and carries the shape parameters the paper reports:
+ *
+ *   MemN2N / bAbI QA          avg n = 20, max 50, d = 64, accuracy
+ *   KV-MemN2N / WikiMovies    avg n = 186, d = 64, MAP
+ *   BERT / SQuAD v1.1         n = 320 (self-attention), d = 64, F1
+ *
+ * plus the Figure 3 time-share profile and the paper's no-approximation
+ * metric value used as the calibration target.
+ */
+
+#ifndef A3_WORKLOADS_WORKLOAD_HPP
+#define A3_WORKLOADS_WORKLOAD_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attention/types.hpp"
+#include "tensor/matrix.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+
+/** One episode: a key/value task, its queries, and ground truth. */
+struct AttentionTask
+{
+    Matrix key;
+    Matrix value;
+
+    /** Queries against this key/value pair (many for self-attention). */
+    std::vector<Vector> queries;
+
+    /**
+     * Ground-truth relevant rows per query; empty for queries that run
+     * for timing only and are excluded from the metric (e.g. non-
+     * question tokens of the SQuAD-like workload).
+     */
+    std::vector<std::vector<std::uint32_t>> relevant;
+};
+
+/** Figure 3 profile: non-attention work relative to attention time. */
+struct TimeShareProfile
+{
+    /** Comprehension (query-independent) time / attention time. */
+    double comprehensionOverAttention = 0.0;
+
+    /** Non-attention query-response time / attention time. */
+    double otherQueryOverAttention = 0.0;
+};
+
+/** Interface of one synthetic benchmark workload. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Workload name, e.g. "MemN2N". */
+    virtual std::string name() const = 0;
+
+    /** Metric name, e.g. "accuracy", "MAP", "F1". */
+    virtual std::string metricName() const = 0;
+
+    /** Sample one episode. */
+    virtual AttentionTask sample(Rng &rng) const = 0;
+
+    /**
+     * Score one query's attention result; only called for queries with
+     * a non-empty relevant set.
+     */
+    virtual double score(const AttentionTask &task,
+                         std::size_t queryIndex,
+                         const AttentionResult &result) const = 0;
+
+    /** Typical row count for performance modeling (paper's avg n). */
+    virtual std::size_t typicalRows() const = 0;
+
+    /** Embedding dimension. */
+    virtual std::size_t dims() const { return 64; }
+
+    /** True for self-attention (key reused across many queries). */
+    virtual bool selfAttention() const { return false; }
+
+    /** Top-k for the Figure 13b recall metric (2 bAbI, 5 others). */
+    virtual std::size_t recallTopK() const = 0;
+
+    /** Paper's no-approximation metric value (calibration target). */
+    virtual double paperBaselineMetric() const = 0;
+
+    /** Figure 3 time-share profile. */
+    virtual TimeShareProfile timeShare() const = 0;
+};
+
+/** The three paper workloads, in presentation order. */
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
+
+}  // namespace a3
+
+#endif  // A3_WORKLOADS_WORKLOAD_HPP

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the end-to-end approximate attention orchestrator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attention/approx_attention.hpp"
+#include "attention/reference.hpp"
+#include "util/random.hpp"
+#include "workloads/embedding.hpp"
+
+namespace a3 {
+namespace {
+
+struct RandomTask
+{
+    Matrix key;
+    Matrix value;
+    Vector query;
+};
+
+RandomTask
+makeTask(Rng &rng, std::size_t n, std::size_t d)
+{
+    RandomTask t;
+    t.key = Matrix(n, d);
+    t.value = Matrix(n, d);
+    t.query.resize(d);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            t.key(r, c) = static_cast<float>(rng.normal());
+            t.value(r, c) = static_cast<float>(rng.normal());
+        }
+    }
+    for (auto &x : t.query)
+        x = static_cast<float>(rng.normal());
+    return t;
+}
+
+TEST(ApproxAttention, ExactConfigMatchesReferenceBitwise)
+{
+    Rng rng(4000);
+    const RandomTask t = makeTask(rng, 25, 8);
+    const ApproxAttention engine(t.key, t.value, ApproxConfig::exact());
+    const AttentionResult approx = engine.run(t.query);
+    const AttentionResult exact =
+        referenceAttention(t.key, t.value, t.query);
+    EXPECT_EQ(approx.output, exact.output);
+    EXPECT_EQ(approx.weights, exact.weights);
+    EXPECT_EQ(approx.candidates.size(), 25u);
+    EXPECT_EQ(approx.kept.size(), 25u);
+}
+
+TEST(ApproxAttention, OutputMatchesSubsetAttentionOfKeptRows)
+{
+    Rng rng(4001);
+    const RandomTask t = makeTask(rng, 40, 16);
+    const ApproxAttention engine(t.key, t.value,
+                                 ApproxConfig::conservative());
+    const AttentionResult approx = engine.run(t.query);
+    ASSERT_FALSE(approx.kept.empty());
+    const AttentionResult subset =
+        subsetAttention(t.key, t.value, t.query, approx.kept);
+    EXPECT_EQ(approx.output, subset.output);
+}
+
+TEST(ApproxAttention, KeptIsSubsetOfCandidates)
+{
+    Rng rng(4002);
+    for (int trial = 0; trial < 20; ++trial) {
+        const RandomTask t = makeTask(rng, 30, 8);
+        const ApproxAttention engine(t.key, t.value,
+                                     ApproxConfig::aggressive());
+        const AttentionResult r = engine.run(t.query);
+        for (std::uint32_t row : r.kept) {
+            EXPECT_TRUE(std::find(r.candidates.begin(),
+                                  r.candidates.end(),
+                                  row) != r.candidates.end());
+        }
+    }
+}
+
+TEST(ApproxAttention, WeightsZeroOutsideKeptAndSumToOne)
+{
+    Rng rng(4003);
+    const RandomTask t = makeTask(rng, 50, 8);
+    const ApproxAttention engine(t.key, t.value,
+                                 ApproxConfig::conservative());
+    const AttentionResult r = engine.run(t.query);
+    float sum = 0.0f;
+    for (std::size_t row = 0; row < 50; ++row) {
+        const bool kept =
+            std::find(r.kept.begin(), r.kept.end(),
+                      static_cast<std::uint32_t>(row)) != r.kept.end();
+        if (!kept)
+            EXPECT_FLOAT_EQ(r.weights[row], 0.0f);
+        sum += r.weights[row];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(ApproxAttention, NeverReturnsEmptyKeptSet)
+{
+    // Anti-aligned query: greedy scores are all non-positive, the
+    // degenerate-fallback path must still produce one row.
+    Matrix key = Matrix::fromRows(
+        {{1.0f, 1.0f}, {2.0f, 0.5f}, {0.5f, 2.0f}});
+    Matrix value = Matrix::fromRows(
+        {{1.0f, 0.0f}, {0.0f, 1.0f}, {1.0f, 1.0f}});
+    ApproxConfig cfg = ApproxConfig::aggressive();
+    const ApproxAttention engine(key, value, cfg);
+    const AttentionResult r = engine.run({-1.0f, -1.0f});
+    EXPECT_EQ(r.candidates.size(), 1u);
+    EXPECT_EQ(r.kept.size(), 1u);
+    float sum = 0.0f;
+    for (float w : r.weights)
+        sum += w;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(ApproxAttention, LargeMTinyThresholdApproachesExact)
+{
+    Rng rng(4004);
+    const RandomTask t = makeTask(rng, 20, 8);
+    ApproxConfig cfg;
+    cfg.mAbsolute = 20 * 8;          // cover every product
+    cfg.thresholdPercent = 1e-9;     // keep everything scored
+    cfg.skipHeuristic = false;
+    const ApproxAttention engine(t.key, t.value, cfg);
+    const AttentionResult approx = engine.run(t.query);
+    const AttentionResult exact =
+        referenceAttention(t.key, t.value, t.query);
+    // Candidate selection still drops rows with non-positive greedy
+    // score; those rows carry small (not exactly zero) weight in the
+    // exact result, so allow a modest deviation.
+    EXPECT_LT(maxAbsDiff(approx.output, exact.output), 0.1f);
+}
+
+TEST(ApproxAttention, PlantedRelevantRowSurvivesConservative)
+{
+    Rng rng(4005);
+    EmbeddingParams params;
+    int survived = 0;
+    const int trials = 50;
+    for (int trial = 0; trial < trials; ++trial) {
+        const EmbeddingEpisode ep =
+            generateEpisode(rng, params, 24, 1);
+        const ApproxAttention engine(ep.key, ep.value,
+                                     ApproxConfig::conservative());
+        const AttentionResult r = engine.run(ep.query);
+        survived += std::find(r.kept.begin(), r.kept.end(),
+                              ep.relevantRows[0]) != r.kept.end();
+    }
+    // The conservative preset loses ~1% accuracy in the paper; allow a
+    // loose bound here.
+    EXPECT_GE(survived, trials * 3 / 4);
+}
+
+TEST(ApproxAttention, IterationCountRespectsConfig)
+{
+    Rng rng(4006);
+    const RandomTask t = makeTask(rng, 32, 8);
+    ApproxConfig cfg;
+    cfg.mFraction = 0.25;
+    const ApproxAttention engine(t.key, t.value, cfg);
+    const AttentionResult r = engine.run(t.query);
+    EXPECT_EQ(r.iterations, 8u);
+
+    ApproxConfig abs;
+    abs.mAbsolute = 5;
+    const ApproxAttention engine2(t.key, t.value, abs);
+    EXPECT_EQ(engine2.run(t.query).iterations, 5u);
+}
+
+TEST(ApproxConfig, PresetsMatchPaper)
+{
+    const ApproxConfig cons = ApproxConfig::conservative();
+    EXPECT_DOUBLE_EQ(cons.mFraction, 0.5);
+    EXPECT_DOUBLE_EQ(cons.thresholdPercent, 5.0);
+    const ApproxConfig aggr = ApproxConfig::aggressive();
+    EXPECT_DOUBLE_EQ(aggr.mFraction, 0.125);
+    EXPECT_DOUBLE_EQ(aggr.thresholdPercent, 10.0);
+    EXPECT_EQ(cons.iterationsFor(320), 160u);
+    EXPECT_EQ(aggr.iterationsFor(320), 40u);
+}
+
+TEST(ApproxConfig, StrSummaries)
+{
+    EXPECT_EQ(ApproxConfig::conservative().str(),
+              "ApproxConfig{M=0.5n, T=5%}");
+    EXPECT_EQ(ApproxConfig::exact().str(), "ApproxConfig{M=off, T=off}");
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the measured CPU baseline and the analytic device models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_baseline.hpp"
+#include "baseline/device_models.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(CpuMeasurement, ProducesPositiveTiming)
+{
+    const CpuMeasurement m = measureCpuAttention(20, 64, 50);
+    EXPECT_GT(m.secondsPerOp, 0.0);
+    EXPECT_EQ(m.operations, 50u);
+    EXPECT_GT(m.opsPerSecond(), 0.0);
+}
+
+TEST(CpuMeasurement, LargerTasksTakeLonger)
+{
+    const CpuMeasurement small = measureCpuAttention(20, 64, 40, 3);
+    const CpuMeasurement large = measureCpuAttention(320, 64, 40, 3);
+    EXPECT_GT(large.secondsPerOp, small.secondsPerOp);
+}
+
+TEST(AttentionFlops, ScalesWithNAndD)
+{
+    EXPECT_DOUBLE_EQ(attentionFlops(10, 8),
+                     1.05 * 4.0 * 10.0 * 8.0);
+    EXPECT_GT(attentionFlops(320, 64), attentionFlops(20, 64));
+}
+
+TEST(CpuTimingModel, SingleQueryDominatedByDispatch)
+{
+    CpuTimingModel cpu;
+    const double sec = cpu.singleQuerySeconds(20, 64);
+    EXPECT_GT(sec, CpuTimingModel::dispatchOverheadSec);
+    EXPECT_LT(sec, 2.0 * CpuTimingModel::dispatchOverheadSec);
+}
+
+TEST(CpuTimingModel, BatchingAmortizesDispatch)
+{
+    CpuTimingModel cpu;
+    const double single = cpu.singleQuerySeconds(320, 64);
+    const double batched = cpu.batchedSeconds(320, 64, 320);
+    EXPECT_LT(batched, single);
+    EXPECT_LT(batched, 3e-6);
+}
+
+TEST(GpuTimingModel, FasterThanCpuOnBatchedWork)
+{
+    CpuTimingModel cpu;
+    GpuTimingModel gpu;
+    EXPECT_LT(gpu.batchedSeconds(320, 64, 320),
+              cpu.batchedSeconds(320, 64, 320));
+}
+
+TEST(TimeShareModel, SharesComputedCorrectly)
+{
+    TimeShareModel m;
+    m.workload = "test";
+    m.attentionSec = 4.0;
+    m.comprehensionSec = 5.0;
+    m.otherQuerySec = 1.0;
+    EXPECT_DOUBLE_EQ(m.attentionShareTotal(), 0.4);
+    EXPECT_DOUBLE_EQ(m.attentionShareQueryTime(), 0.8);
+}
+
+TEST(TimeShareModel, QueryShareExceedsTotalShare)
+{
+    // Removing query-independent comprehension can only raise the
+    // attention share (the Figure 3 right-vs-left panel effect).
+    TimeShareModel m;
+    m.attentionSec = 2.0;
+    m.comprehensionSec = 3.0;
+    m.otherQuerySec = 0.5;
+    EXPECT_GT(m.attentionShareQueryTime(), m.attentionShareTotal());
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the greedy candidate search (Sections IV-B / IV-C),
+ * including the paper's worked example (Figure 6) and the functional
+ * equivalence of the naive and efficient implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attention/candidate_search.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+/** The Figure 6 example: 4 x 3 key matrix and query [0.8 -0.3 0.4]. */
+Matrix
+figure6Key()
+{
+    return Matrix::fromRows({{-0.6f, 0.1f, 0.8f},
+                             {0.1f, -0.2f, -0.9f},
+                             {0.8f, 0.6f, 0.7f},
+                             {0.5f, 0.7f, 0.5f}});
+}
+
+const Vector figure6Query{0.8f, -0.3f, 0.4f};
+
+TEST(BaseGreedySearch, Figure6AfterThreeIterations)
+{
+    const CandidateSearchResult r =
+        baseGreedySearch(figure6Key(), figure6Query, 3);
+    // Greedy scores from the paper: [-0.16, -0.36, 0.64, 0.19].
+    ASSERT_EQ(r.greedyScore.size(), 4u);
+    EXPECT_NEAR(r.greedyScore[0], -0.16f, 1e-5f);
+    EXPECT_NEAR(r.greedyScore[1], -0.36f, 1e-5f);
+    EXPECT_NEAR(r.greedyScore[2], 0.64f, 1e-5f);
+    EXPECT_NEAR(r.greedyScore[3], 0.19f, 1e-5f);
+    // Candidates: rows with positive greedy score.
+    EXPECT_EQ(r.candidates, (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(BaseGreedySearch, Figure6IntermediateIterations)
+{
+    // After one iteration: only the extremes are accumulated.
+    const CandidateSearchResult r1 =
+        baseGreedySearch(figure6Key(), figure6Query, 1);
+    EXPECT_NEAR(r1.greedyScore[0], -0.48f, 1e-5f);
+    EXPECT_NEAR(r1.greedyScore[2], 0.64f, 1e-5f);
+    EXPECT_FLOAT_EQ(r1.greedyScore[1], 0.0f);
+    EXPECT_FLOAT_EQ(r1.greedyScore[3], 0.0f);
+
+    const CandidateSearchResult r2 =
+        baseGreedySearch(figure6Key(), figure6Query, 2);
+    EXPECT_NEAR(r2.greedyScore[3], 0.40f, 1e-5f);
+    EXPECT_NEAR(r2.greedyScore[1], -0.36f, 1e-5f);
+}
+
+TEST(EfficientGreedySearch, MatchesFigure6)
+{
+    const SortedKey sk = SortedKey::build(figure6Key());
+    const CandidateSearchResult r =
+        efficientGreedySearch(sk, figure6Query, 3);
+    EXPECT_NEAR(r.greedyScore[0], -0.16f, 1e-5f);
+    EXPECT_NEAR(r.greedyScore[1], -0.36f, 1e-5f);
+    EXPECT_NEAR(r.greedyScore[2], 0.64f, 1e-5f);
+    EXPECT_NEAR(r.greedyScore[3], 0.19f, 1e-5f);
+    EXPECT_EQ(r.candidates, (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(GreedySearch, SkipHeuristicTriggersOnNegativeSimilarity)
+{
+    // Query anti-aligned with every key row: all products of the max
+    // pops are negative, so the cumulative sum goes negative and the
+    // min-side pops are skipped.
+    const Matrix key = Matrix::fromRows(
+        {{1.0f, 1.0f}, {0.5f, 0.8f}, {0.9f, 0.3f}});
+    const Vector query{-1.0f, -1.0f};
+    const SortedKey sk = SortedKey::build(key);
+    const CandidateSearchResult r =
+        efficientGreedySearch(sk, query, 4, true);
+    EXPECT_GT(r.skippedMinOps, 0u);
+
+    const CandidateSearchResult noSkip =
+        efficientGreedySearch(sk, query, 4, false);
+    EXPECT_EQ(noSkip.skippedMinOps, 0u);
+    EXPECT_GT(noSkip.minPops, r.minPops);
+}
+
+TEST(GreedySearch, ZeroQuerySelectsNothing)
+{
+    const Matrix key = figure6Key();
+    const SortedKey sk = SortedKey::build(key);
+    const CandidateSearchResult r =
+        efficientGreedySearch(sk, {0.0f, 0.0f, 0.0f}, 6);
+    EXPECT_TRUE(r.candidates.empty());
+    for (float g : r.greedyScore)
+        EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(GreedySearch, SingleRowAlwaysSelectedWhenAligned)
+{
+    const Matrix key = Matrix::fromRows({{1.0f, 2.0f}});
+    const SortedKey sk = SortedKey::build(key);
+    const CandidateSearchResult r =
+        efficientGreedySearch(sk, {1.0f, 1.0f}, 1);
+    EXPECT_EQ(r.candidates, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(GreedySearch, PopCountsBoundedByIterations)
+{
+    Rng rng(1000);
+    const std::size_t n = 16;
+    const std::size_t d = 8;
+    Matrix key(n, d);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            key(r, c) = static_cast<float>(rng.normal());
+    Vector query(d);
+    for (auto &x : query)
+        x = static_cast<float>(rng.normal());
+
+    const SortedKey sk = SortedKey::build(key);
+    const CandidateSearchResult r =
+        efficientGreedySearch(sk, query, 10);
+    EXPECT_LE(r.maxPops, 10u);
+    EXPECT_LE(r.minPops + r.skippedMinOps, 10u);
+}
+
+TEST(GreedySearch, ExhaustiveIterationsCoverEveryProduct)
+{
+    // With M = n*d and no skips possible (all-positive products), the
+    // greedy score equals the true dot product for every row.
+    const Matrix key =
+        Matrix::fromRows({{0.5f, 1.0f}, {2.0f, 0.25f}, {1.5f, 1.5f}});
+    const Vector query{1.0f, 1.0f};
+    const SortedKey sk = SortedKey::build(key);
+    const CandidateSearchResult r =
+        efficientGreedySearch(sk, query, 6, false);
+    EXPECT_NEAR(r.greedyScore[0], 1.5f, 1e-5f);
+    EXPECT_NEAR(r.greedyScore[1], 2.25f, 1e-5f);
+    EXPECT_NEAR(r.greedyScore[2], 3.0f, 1e-5f);
+}
+
+/**
+ * Functional equivalence of the base and efficient algorithms across
+ * random instances, with and without the skip heuristic (the paper
+ * states they are "functionally identical").
+ */
+class Equivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, double, bool>>
+{
+};
+
+TEST_P(Equivalence, BaseAndEfficientAgree)
+{
+    const auto [n, d, mFrac, skip] = GetParam();
+    Rng rng(2000 + static_cast<std::uint64_t>(n * 131 + d * 17 +
+                                              (skip ? 1 : 0)));
+    for (int trial = 0; trial < 20; ++trial) {
+        Matrix key(static_cast<std::size_t>(n),
+                   static_cast<std::size_t>(d));
+        for (std::size_t r = 0; r < key.rows(); ++r)
+            for (std::size_t c = 0; c < key.cols(); ++c)
+                key(r, c) = static_cast<float>(rng.normal());
+        Vector query(static_cast<std::size_t>(d));
+        for (auto &x : query)
+            x = static_cast<float>(rng.normal());
+
+        const auto m = static_cast<std::size_t>(
+            std::max(1.0, mFrac * static_cast<double>(n)));
+        const CandidateSearchResult base =
+            baseGreedySearch(key, query, m, skip);
+        const CandidateSearchResult eff = efficientGreedySearch(
+            SortedKey::build(key), query, m, skip);
+
+        EXPECT_EQ(base.candidates, eff.candidates);
+        EXPECT_EQ(base.maxPops, eff.maxPops);
+        EXPECT_EQ(base.minPops, eff.minPops);
+        EXPECT_EQ(base.skippedMinOps, eff.skippedMinOps);
+        ASSERT_EQ(base.greedyScore.size(), eff.greedyScore.size());
+        for (std::size_t r = 0; r < base.greedyScore.size(); ++r) {
+            EXPECT_NEAR(base.greedyScore[r], eff.greedyScore[r], 1e-6f)
+                << "row " << r;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Equivalence,
+    ::testing::Combine(::testing::Values(4, 20, 64, 150),   // n
+                       ::testing::Values(3, 16, 64),        // d
+                       ::testing::Values(0.125, 0.5, 1.0),  // M / n
+                       ::testing::Bool()));                 // skip
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the Table I power/area model and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/power_model.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(Table1, TotalsMatchPaper)
+{
+    const ModulePower total = table1::fullTotal();
+    EXPECT_NEAR(total.areaMm2, 2.082, 1e-9);
+    EXPECT_NEAR(total.dynamicMw, 98.917, 0.01);  // paper rounds 98.92
+    EXPECT_NEAR(total.staticMw, 11.502, 1e-9);
+}
+
+TEST(Table1, BaseTotalExcludesApproximationModules)
+{
+    const ModulePower base = table1::baseTotal();
+    const ModulePower full = table1::fullTotal();
+    EXPECT_NEAR(full.areaMm2 - base.areaMm2,
+                0.277 + 0.010 + 0.919, 1e-9);
+    EXPECT_LT(base.dynamicMw, full.dynamicMw);
+}
+
+TEST(Table1, AllModulesListed)
+{
+    EXPECT_EQ(table1::allModules().size(), 8u);
+}
+
+TEST(ReferenceDevices, MatchSectionVID)
+{
+    const ReferenceDevice cpu = xeonGold6128();
+    EXPECT_DOUBLE_EQ(cpu.tdpW, 115.0);
+    EXPECT_DOUBLE_EQ(cpu.dieAreaMm2, 325.0);
+    const ReferenceDevice gpu = titanV();
+    EXPECT_DOUBLE_EQ(gpu.tdpW, 250.0);
+    EXPECT_DOUBLE_EQ(gpu.dieAreaMm2, 815.0);
+    // Paper: CPU die is 156x one A3 unit, GPU 391x.
+    EXPECT_NEAR(cpu.dieAreaMm2 / table1::fullTotal().areaMm2, 156.0,
+                1.0);
+    EXPECT_NEAR(gpu.dieAreaMm2 / table1::fullTotal().areaMm2, 391.0,
+                1.0);
+}
+
+TEST(EnergyBreakdown, FractionsSumToOne)
+{
+    EnergyBreakdown e;
+    e.candidateSelection = 1.0;
+    e.dotProduct = 2.0;
+    e.exponentWithPostScoring = 3.0;
+    e.output = 4.0;
+    e.memory = 10.0;
+    EXPECT_DOUBLE_EQ(e.total(), 20.0);
+    const auto f = e.fractions();
+    double sum = 0.0;
+    for (double x : f)
+        sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(f[4], 0.5);
+}
+
+TEST(PowerModel, ReferenceEnergyIsTdpTimesTime)
+{
+    EXPECT_DOUBLE_EQ(
+        PowerModel::referenceEnergy(xeonGold6128(), 2.0), 230.0);
+}
+
+TEST(PowerModel, OpsPerJoule)
+{
+    EXPECT_DOUBLE_EQ(PowerModel::opsPerJoule(1000.0, 2.0), 500.0);
+}
+
+TEST(PowerModel, SimulatedRunEnergyIsPositiveAndSplit)
+{
+    Rng rng(7000);
+    const std::size_t n = 64;
+    Matrix key(n, 64);
+    Matrix value(n, 64);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < 64; ++c) {
+            key(r, c) = static_cast<float>(rng.normal());
+            value(r, c) = static_cast<float>(rng.normal());
+        }
+    }
+    Vector query(64);
+    for (auto &x : query)
+        x = static_cast<float>(rng.normal());
+
+    SimConfig cfg;
+    cfg.maxRows = n;
+    cfg.dims = 64;
+    cfg.mode = A3Mode::Approx;
+    cfg.approx = ApproxConfig::conservative();
+    A3Accelerator acc(cfg);
+    acc.loadTask(key, value);
+    acc.runAll({query, query, query});
+
+    const EnergyBreakdown e = PowerModel::computeEnergy(acc);
+    EXPECT_GT(e.total(), 0.0);
+    EXPECT_GT(e.candidateSelection, 0.0);
+    EXPECT_GT(e.dotProduct, 0.0);
+    EXPECT_GT(e.exponentWithPostScoring, 0.0);
+    EXPECT_GT(e.output, 0.0);
+    EXPECT_GT(e.memory, 0.0);
+
+    // Sanity scale: a few hundred cycles at <111 mW total power must
+    // land in the nanojoule range.
+    EXPECT_LT(e.total(), 1e-3);
+}
+
+TEST(PowerModel, BaseModeChargesNoApproximationModules)
+{
+    Rng rng(7001);
+    const std::size_t n = 32;
+    Matrix key(n, 64);
+    Matrix value(n, 64);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < 64; ++c) {
+            key(r, c) = static_cast<float>(rng.normal());
+            value(r, c) = static_cast<float>(rng.normal());
+        }
+    }
+    Vector query(64);
+    for (auto &x : query)
+        x = static_cast<float>(rng.normal());
+
+    SimConfig cfg;
+    cfg.maxRows = n;
+    cfg.dims = 64;
+    cfg.mode = A3Mode::Base;
+    A3Accelerator acc(cfg);
+    acc.loadTask(key, value);
+    acc.runAll({query});
+    const EnergyBreakdown e = PowerModel::computeEnergy(acc);
+    EXPECT_DOUBLE_EQ(e.candidateSelection, 0.0);
+    EXPECT_GT(e.dotProduct, 0.0);
+}
+
+TEST(PowerModel, HandCheckedModuleEnergy)
+{
+    // 1000 active cycles of the dot-product module at 1 GHz:
+    // dynamic 14.338 mW * 1 us = 14.338 nJ; plus static over elapsed.
+    Rng rng(7002);
+    const std::size_t n = 991;  // dot stage active = n + 9 = 1000
+    SimConfig cfg;
+    cfg.maxRows = n;
+    cfg.dims = 64;
+    cfg.mode = A3Mode::Base;
+    Matrix key(n, 64);
+    Matrix value(n, 64);
+    Vector query(64);
+    for (auto &x : query)
+        x = 1.0f;
+    A3Accelerator acc(cfg);
+    acc.loadTask(key, value);
+    acc.runAll({query});
+    const EnergyBreakdown e = PowerModel::computeEnergy(acc);
+    const double elapsedSec = static_cast<double>(acc.now()) / 1e9;
+    const double expectedDot =
+        14.338e-3 * 1000.0 / 1e9 + 1.265e-3 * elapsedSec;
+    EXPECT_NEAR(e.dotProduct, expectedDot, expectedDot * 1e-9);
+}
+
+}  // namespace
+}  // namespace a3

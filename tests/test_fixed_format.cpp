@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit and property tests for fixed-point formats (Section III-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/format.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(FixedFormat, RangeOfQ4_4)
+{
+    FixedFormat q{4, 4};
+    EXPECT_EQ(q.totalBits(), 9);
+    EXPECT_EQ(q.maxRaw(), 255);
+    EXPECT_EQ(q.minRaw(), -255);  // symmetric quantization range
+    EXPECT_DOUBLE_EQ(q.resolution(), 0.0625);
+    EXPECT_DOUBLE_EQ(q.maxValue(), 15.9375);
+    EXPECT_DOUBLE_EQ(q.minValue(), -15.9375);
+}
+
+TEST(FixedFormat, QuantizeRoundsToNearest)
+{
+    FixedFormat q{4, 4};
+    EXPECT_EQ(q.quantize(1.0), 16);
+    EXPECT_EQ(q.quantize(1.03), 16);    // 1.03 * 16 = 16.48 -> 16
+    EXPECT_EQ(q.quantize(1.04), 17);    // 16.64 -> 17
+    EXPECT_EQ(q.quantize(-0.5), -8);
+}
+
+TEST(FixedFormat, QuantizeSaturates)
+{
+    FixedFormat q{2, 2};
+    EXPECT_EQ(q.quantize(100.0), q.maxRaw());
+    EXPECT_EQ(q.quantize(-100.0), q.minRaw());
+}
+
+TEST(FixedFormat, ToDoubleInvertsQuantizeOnGrid)
+{
+    FixedFormat q{3, 5};
+    for (std::int64_t raw = q.minRaw(); raw <= q.maxRaw(); raw += 7) {
+        const double v = q.toDouble(raw);
+        EXPECT_EQ(q.quantize(v), raw);
+    }
+}
+
+TEST(FixedFormat, SaturateClamps)
+{
+    FixedFormat q{2, 2};
+    EXPECT_EQ(q.saturate(1000), q.maxRaw());
+    EXPECT_EQ(q.saturate(-1000), q.minRaw());
+    EXPECT_EQ(q.saturate(5), 5);
+}
+
+TEST(FixedFormat, FitsPredicate)
+{
+    FixedFormat q{2, 2};
+    EXPECT_TRUE(q.fits(q.maxRaw()));
+    EXPECT_TRUE(q.fits(q.minRaw()));
+    EXPECT_FALSE(q.fits(q.maxRaw() + 1));
+    EXPECT_FALSE(q.fits(q.minRaw() - 1));
+}
+
+TEST(FixedFormat, StrIsReadable)
+{
+    EXPECT_EQ((FixedFormat{4, 4}).str(), "Q4.4");
+    EXPECT_EQ((FixedFormat{0, 8}).str(), "Q0.8");
+}
+
+/** Quantization error is bounded by half a resolution step. */
+class QuantizeErrorBound : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantizeErrorBound, HalfUlpForInRangeValues)
+{
+    const int f = GetParam();
+    FixedFormat q{4, f};
+    Rng rng(100 + static_cast<std::uint64_t>(f));
+    const double halfUlp = q.resolution() / 2.0;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.uniform(q.minValue(), q.maxValue());
+        const double back = q.toDouble(q.quantize(v));
+        EXPECT_LE(std::fabs(back - v), halfUlp + 1e-12)
+            << "f=" << f << " v=" << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FractionBits, QuantizeErrorBound,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12));
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for fixed-point arithmetic with hardware-style width growth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/value.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(FixedValue, FromDoubleQuantizes)
+{
+    const FixedValue v = FixedValue::fromDouble(1.5, {4, 4});
+    EXPECT_EQ(v.raw, 24);
+    EXPECT_DOUBLE_EQ(v.toDouble(), 1.5);
+}
+
+TEST(MulFull, ExactAndWidened)
+{
+    const FixedValue a = FixedValue::fromDouble(1.5, {4, 4});
+    const FixedValue b = FixedValue::fromDouble(-2.25, {4, 4});
+    const FixedValue p = mulFull(a, b);
+    EXPECT_EQ(p.fmt.intBits, 8);
+    EXPECT_EQ(p.fmt.fracBits, 8);
+    EXPECT_DOUBLE_EQ(p.toDouble(), -3.375);
+}
+
+TEST(MulFull, WorstCaseDoesNotOverflow)
+{
+    FixedFormat in{4, 4};
+    const FixedValue lo{in.minRaw(), in};
+    const FixedValue p = mulFull(lo, lo);
+    EXPECT_TRUE(p.fmt.fits(p.raw));
+    EXPECT_DOUBLE_EQ(p.toDouble(), 15.9375 * 15.9375);
+}
+
+TEST(AddFull, ExactWithExtraIntegerBit)
+{
+    FixedFormat in{4, 4};
+    const FixedValue hi{in.maxRaw(), in};
+    const FixedValue sum = addFull(hi, hi);
+    EXPECT_EQ(sum.fmt.intBits, 5);
+    EXPECT_TRUE(sum.fmt.fits(sum.raw));
+    EXPECT_DOUBLE_EQ(sum.toDouble(), 2.0 * in.maxValue());
+}
+
+TEST(SubFull, Exact)
+{
+    const FixedValue a = FixedValue::fromDouble(1.0, {4, 4});
+    const FixedValue b = FixedValue::fromDouble(15.9375, {4, 4});
+    const FixedValue diff = subFull(a, b);
+    EXPECT_DOUBLE_EQ(diff.toDouble(), 1.0 - 15.9375);
+    EXPECT_TRUE(diff.fmt.fits(diff.raw));
+}
+
+TEST(Rescale, WideningIsLossless)
+{
+    const FixedValue v = FixedValue::fromDouble(-3.1875, {4, 4});
+    const FixedValue wide = rescale(v, {6, 8});
+    EXPECT_DOUBLE_EQ(wide.toDouble(), v.toDouble());
+}
+
+TEST(Rescale, NarrowingTruncatesTowardNegativeInfinity)
+{
+    // 0.75 in Q4.4 -> Q4.1 keeps 0.5; -0.75 -> -1.0 (floor behaviour).
+    const FixedValue pos = FixedValue::fromDouble(0.75, {4, 4});
+    EXPECT_DOUBLE_EQ(rescale(pos, {4, 1}).toDouble(), 0.5);
+    const FixedValue neg = FixedValue::fromDouble(-0.75, {4, 4});
+    EXPECT_DOUBLE_EQ(rescale(neg, {4, 1}).toDouble(), -1.0);
+}
+
+TEST(Rescale, SaturatesIntoNarrowIntegerRange)
+{
+    const FixedValue v = FixedValue::fromDouble(15.0, {4, 4});
+    const FixedValue narrow = rescale(v, {2, 4});
+    EXPECT_DOUBLE_EQ(narrow.toDouble(), narrow.fmt.maxValue());
+}
+
+TEST(Divide, MatchesTruncatedQuotient)
+{
+    const FixedValue num = FixedValue::fromDouble(1.0, {0, 8});
+    const FixedValue den = FixedValue::fromDouble(3.0, {4, 8});
+    const FixedValue q = divide(num, den, 0, 8);
+    // 1/3 = 0.3333 -> floor(0.3333 * 256) = 85 -> 0.33203125
+    EXPECT_EQ(q.raw, 85);
+    EXPECT_NEAR(q.toDouble(), 1.0 / 3.0, q.fmt.resolution());
+}
+
+TEST(Divide, WeightNeverExceedsOne)
+{
+    // score / expsum with score <= expsum must produce weight <= 1,
+    // saturated into Q0.f (the Section III-B weight format).
+    const FixedFormat scoreFmt{0, 8};
+    const FixedFormat sumFmt{6, 8};
+    const FixedValue score{scoreFmt.maxRaw(), scoreFmt};
+    const FixedValue sum{scoreFmt.maxRaw(), sumFmt};
+    const FixedValue w = divide(score, sum, 0, 8);
+    EXPECT_LE(w.toDouble(), 1.0);
+    EXPECT_GE(w.toDouble(), 0.99);
+}
+
+/** Property: divide() approximates real division within one LSB. */
+class DivideProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DivideProperty, WithinOneLsb)
+{
+    const int f = GetParam();
+    Rng rng(200 + static_cast<std::uint64_t>(f));
+    const FixedFormat numFmt{0, f};
+    const FixedFormat denFmt{6, f};
+    for (int i = 0; i < 2000; ++i) {
+        const double den = rng.uniform(1.0, 60.0);
+        const double num = rng.uniform(0.0, 1.0) * den;
+        const FixedValue nv = FixedValue::fromDouble(
+            std::min(num, numFmt.maxValue()), numFmt);
+        const FixedValue dv = FixedValue::fromDouble(den, denFmt);
+        if (dv.raw == 0)
+            continue;
+        const FixedValue q = divide(nv, dv, 0, f);
+        const double expected = nv.toDouble() / dv.toDouble();
+        EXPECT_NEAR(q.toDouble(), expected,
+                    std::ldexp(1.0, -f) + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FractionBits, DivideProperty,
+                         ::testing::Values(4, 6, 8, 10, 12));
+
+/** Property: mul/add are exact vs double arithmetic on the grid. */
+TEST(FixedValueProperty, MulAddExactOnGrid)
+{
+    Rng rng(300);
+    const FixedFormat in{4, 4};
+    for (int i = 0; i < 5000; ++i) {
+        const FixedValue a{rng.uniformInt(in.minRaw(), in.maxRaw()),
+                           in};
+        const FixedValue b{rng.uniformInt(in.minRaw(), in.maxRaw()),
+                           in};
+        EXPECT_DOUBLE_EQ(mulFull(a, b).toDouble(),
+                         a.toDouble() * b.toDouble());
+        EXPECT_DOUBLE_EQ(addFull(a, b).toDouble(),
+                         a.toDouble() + b.toDouble());
+        EXPECT_DOUBLE_EQ(subFull(a, b).toDouble(),
+                         a.toDouble() - b.toDouble());
+    }
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Integration tests for the accuracy and performance harnesses —
+ * these pin down the qualitative shape of every paper figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/accuracy.hpp"
+#include "harness/performance.hpp"
+#include "workloads/babi_like.hpp"
+#include "workloads/squad_like.hpp"
+#include "workloads/wikimovies_like.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(AccuracyHarness, ExactFloatTracksPaperBaselines)
+{
+    EngineConfig exact;
+    exact.kind = EngineKind::ExactFloat;
+    const auto all = makeAllWorkloads();
+    for (const auto &w : all) {
+        const std::size_t eps = w->selfAttention() ? 12 : 150;
+        const AccuracyReport r = evaluateAccuracy(*w, exact, eps, 42);
+        EXPECT_NEAR(r.metric, w->paperBaselineMetric(), 0.06)
+            << w->name();
+        // Exact attention considers every row.
+        EXPECT_DOUBLE_EQ(r.normalizedCandidates, 1.0);
+        EXPECT_DOUBLE_EQ(r.normalizedKept, 1.0);
+        EXPECT_DOUBLE_EQ(r.recall, 1.0);
+    }
+}
+
+TEST(AccuracyHarness, CandidateCountGrowsWithM)
+{
+    BabiLikeWorkload w;
+    double prev = 0.0;
+    for (double frac : {0.125, 0.25, 0.5, 1.0}) {
+        EngineConfig cfg;
+        cfg.kind = EngineKind::ApproxFloat;
+        cfg.approx = ApproxConfig();
+        cfg.approx.mFraction = frac;
+        cfg.approx.postScoring = false;
+        const AccuracyReport r = evaluateAccuracy(w, cfg, 150, 42);
+        EXPECT_GT(r.normalizedCandidates, prev) << "M=" << frac;
+        prev = r.normalizedCandidates;
+    }
+    EXPECT_LT(prev, 1.0);  // even M = n selects a strict subset
+}
+
+TEST(AccuracyHarness, RecallDegradesGracefullyWithM)
+{
+    WikiMoviesLikeWorkload w;
+    double prevRecall = 0.0;
+    for (double frac : {0.125, 0.5, 1.0}) {
+        EngineConfig cfg;
+        cfg.kind = EngineKind::ApproxFloat;
+        cfg.approx = ApproxConfig();
+        cfg.approx.mFraction = frac;
+        cfg.approx.postScoring = false;
+        const AccuracyReport r = evaluateAccuracy(w, cfg, 100, 42);
+        EXPECT_GT(r.recall, prevRecall);
+        prevRecall = r.recall;
+    }
+    EXPECT_GT(prevRecall, 0.9);
+}
+
+TEST(AccuracyHarness, KeptFractionShrinksWithT)
+{
+    WikiMoviesLikeWorkload w;
+    double prev = 1.0;
+    for (double t : {1.0, 5.0, 20.0}) {
+        EngineConfig cfg;
+        cfg.kind = EngineKind::ApproxFloat;
+        cfg.approx = ApproxConfig();
+        cfg.approx.candidateSelection = false;
+        cfg.approx.thresholdPercent = t;
+        const AccuracyReport r = evaluateAccuracy(w, cfg, 100, 42);
+        EXPECT_LT(r.normalizedKept, prev) << "T=" << t;
+        prev = r.normalizedKept;
+    }
+}
+
+TEST(AccuracyHarness, ConservativeLosesLittleAggressiveMore)
+{
+    // Figure 13a shape: conservative within ~2 points of exact,
+    // aggressive clearly below conservative for the big workloads.
+    EngineConfig exact;
+    exact.kind = EngineKind::ExactFloat;
+    EngineConfig cons;
+    cons.kind = EngineKind::ApproxFloat;
+    cons.approx = ApproxConfig::conservative();
+    EngineConfig aggr;
+    aggr.kind = EngineKind::ApproxFloat;
+    aggr.approx = ApproxConfig::aggressive();
+
+    SquadLikeWorkload w;
+    const AccuracyReport re = evaluateAccuracy(w, exact, 12, 42);
+    const AccuracyReport rc = evaluateAccuracy(w, cons, 12, 42);
+    const AccuracyReport ra = evaluateAccuracy(w, aggr, 12, 42);
+    EXPECT_GT(rc.metric, re.metric - 0.08);
+    EXPECT_LT(ra.metric, rc.metric);
+    EXPECT_LT(ra.recall, rc.recall);
+    EXPECT_LT(ra.normalizedKept, rc.normalizedKept);
+}
+
+TEST(AccuracyHarness, QuantizedExactCloseToFloatExact)
+{
+    // Section VI-B: f = 4 costs well under a point of accuracy.
+    BabiLikeWorkload w;
+    EngineConfig floatExact;
+    floatExact.kind = EngineKind::ExactFloat;
+    EngineConfig quantExact;
+    quantExact.kind = EngineKind::ExactQuantized;
+    quantExact.intBits = 4;
+    quantExact.fracBits = 4;
+    const AccuracyReport rf =
+        evaluateAccuracy(w, floatExact, 150, 42);
+    const AccuracyReport rq =
+        evaluateAccuracy(w, quantExact, 150, 42);
+    EXPECT_NEAR(rq.metric, rf.metric, 0.02);
+}
+
+TEST(AccuracyHarness, ApproxQuantizedRunsEndToEnd)
+{
+    WikiMoviesLikeWorkload w;
+    EngineConfig cfg;
+    cfg.kind = EngineKind::ApproxQuantized;
+    cfg.approx = ApproxConfig::conservative();
+    const AccuracyReport r = evaluateAccuracy(w, cfg, 40, 42);
+    EXPECT_GT(r.metric, 0.4);
+    EXPECT_LT(r.normalizedCandidates, 0.6);
+}
+
+TEST(PerfHarness, RowsInPresentationOrder)
+{
+    BabiLikeWorkload w;
+    PerfOptions opts;
+    opts.episodes = 3;
+    opts.queriesPerEpisode = 6;
+    const auto rows = evaluatePerformance(w, opts);
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows[0].device, "CPU");
+    EXPECT_EQ(rows[1].device, "GPU");
+    EXPECT_EQ(rows[2].device, "Base A3");
+    EXPECT_EQ(rows[3].device, "Approx A3 (conservative)");
+    EXPECT_EQ(rows[4].device, "Approx A3 (aggressive)");
+}
+
+TEST(PerfHarness, GpuOnlyAvailableForSelfAttention)
+{
+    BabiLikeWorkload babi;
+    PerfOptions opts;
+    opts.episodes = 2;
+    opts.queriesPerEpisode = 4;
+    EXPECT_FALSE(evaluatePerformance(babi, opts)[1].available);
+
+    SquadLikeWorkload squad;
+    opts.episodes = 1;
+    EXPECT_TRUE(evaluatePerformance(squad, opts)[1].available);
+}
+
+TEST(PerfHarness, Figure14Shape)
+{
+    // A3 beats CPU by orders of magnitude on the memory networks;
+    // approximation increases throughput monotonically.
+    BabiLikeWorkload w;
+    PerfOptions opts;
+    opts.episodes = 4;
+    opts.queriesPerEpisode = 8;
+    const auto rows = evaluatePerformance(w, opts);
+    const double cpu = rows[0].opsPerSecond;
+    const double base = rows[2].opsPerSecond;
+    const double cons = rows[3].opsPerSecond;
+    const double aggr = rows[4].opsPerSecond;
+    EXPECT_GT(base / cpu, 100.0);
+    EXPECT_GT(cons, base);
+    EXPECT_GT(aggr, cons);
+    // Latency improves with approximation too (Figure 14b).
+    EXPECT_LT(rows[4].latencySeconds, rows[2].latencySeconds);
+}
+
+TEST(PerfHarness, Figure14BertShape)
+{
+    // GPU beats one A3 unit on BERT, but a handful of conservative
+    // units reach it (the paper says 6-7).
+    SquadLikeWorkload w;
+    PerfOptions opts;
+    opts.episodes = 1;
+    const auto rows = evaluatePerformance(w, opts);
+    const double gpu = rows[1].opsPerSecond;
+    const double cons = rows[3].opsPerSecond;
+    EXPECT_GT(gpu, rows[2].opsPerSecond);
+    const double units = unitsToMatch(cons, gpu);
+    EXPECT_GT(units, 3.0);
+    EXPECT_LT(units, 12.0);
+}
+
+TEST(PerfHarness, Figure15EnergyShape)
+{
+    // Orders-of-magnitude ops/J advantage over CPU, and approximation
+    // reduces energy per op further.
+    BabiLikeWorkload w;
+    PerfOptions opts;
+    opts.episodes = 4;
+    opts.queriesPerEpisode = 8;
+    const auto rows = evaluatePerformance(w, opts);
+    const double cpuOpsPerJoule = 1.0 / rows[0].energyPerOpJ;
+    const double baseOpsPerJoule = 1.0 / rows[2].energyPerOpJ;
+    EXPECT_GT(baseOpsPerJoule / cpuOpsPerJoule, 1e4);
+    EXPECT_LT(rows[4].energyPerOpJ, rows[2].energyPerOpJ);
+    // Breakdown populated for A3 rows.
+    EXPECT_GT(rows[3].breakdown.candidateSelection, 0.0);
+    EXPECT_DOUBLE_EQ(rows[2].breakdown.candidateSelection, 0.0);
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the dense matrix/vector substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    Matrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(m(r, c), 0.0f);
+}
+
+TEST(Matrix, FromRowsRoundTrip)
+{
+    const Matrix m = Matrix::fromRows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+    EXPECT_EQ(m.at(0, 0), 1.0f);
+    EXPECT_EQ(m.at(0, 1), 2.0f);
+    EXPECT_EQ(m.at(1, 0), 3.0f);
+    EXPECT_EQ(m.at(1, 1), 4.0f);
+}
+
+TEST(Matrix, RowSpanViewsStorage)
+{
+    Matrix m = Matrix::fromRows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+    auto row = m.row(1);
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[0], 3.0f);
+    row[1] = 9.0f;
+    EXPECT_EQ(m(1, 1), 9.0f);
+}
+
+TEST(Matrix, ColumnCopies)
+{
+    const Matrix m =
+        Matrix::fromRows({{1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}});
+    const Vector col = m.column(1);
+    EXPECT_EQ(col, (Vector{2.0f, 4.0f, 6.0f}));
+}
+
+TEST(Matrix, MatvecMatchesHandComputation)
+{
+    const Matrix m = Matrix::fromRows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+    const Vector out = m.matvec({1.0f, -1.0f});
+    EXPECT_EQ(out, (Vector{-1.0f, -1.0f}));
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    const Matrix m =
+        Matrix::fromRows({{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}});
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t(2, 1), 6.0f);
+    EXPECT_TRUE(t.transposed() == m);
+}
+
+TEST(Matrix, EqualityIsElementwise)
+{
+    Matrix a = Matrix::fromRows({{1.0f}});
+    Matrix b = Matrix::fromRows({{1.0f}});
+    EXPECT_TRUE(a == b);
+    b(0, 0) = 2.0f;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Dot, MatchesHandComputation)
+{
+    Vector a{1.0f, 2.0f, 3.0f};
+    Vector b{4.0f, -5.0f, 6.0f};
+    EXPECT_FLOAT_EQ(
+        dot(std::span<const float>(a), std::span<const float>(b)),
+        12.0f);
+}
+
+TEST(MaxAbsDiff, FindsWorstElement)
+{
+    EXPECT_FLOAT_EQ(maxAbsDiff({1.0f, 2.0f}, {1.5f, 1.0f}), 1.0f);
+    EXPECT_FLOAT_EQ(maxAbsDiff({1.0f}, {1.0f}), 0.0f);
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for multi-hop attention (the MemN2N usage pattern).
+ */
+
+#include <gtest/gtest.h>
+
+#include "attention/multi_hop.hpp"
+#include "attention/reference.hpp"
+#include "util/random.hpp"
+#include "workloads/embedding.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(MultiHop, OneHopMatchesSingleAttention)
+{
+    Rng rng(9100);
+    const EmbeddingEpisode ep =
+        generateEpisode(rng, EmbeddingParams{}, 16, 1);
+    const MultiHopAttention multi(ep.key, ep.value,
+                                  ApproxConfig::exact(), 1);
+    const ApproxAttention single(ep.key, ep.value,
+                                 ApproxConfig::exact());
+    const MultiHopResult m = multi.run(ep.query);
+    const AttentionResult s = single.run(ep.query);
+    ASSERT_EQ(m.hops.size(), 1u);
+    EXPECT_EQ(m.finalHop().output, s.output);
+}
+
+TEST(MultiHop, QueryUpdateIsAdditive)
+{
+    Rng rng(9101);
+    const EmbeddingEpisode ep =
+        generateEpisode(rng, EmbeddingParams{}, 12, 1);
+    const MultiHopAttention multi(ep.key, ep.value,
+                                  ApproxConfig::exact(), 2);
+    const MultiHopResult m = multi.run(ep.query);
+    ASSERT_EQ(m.hops.size(), 2u);
+    // Hop 2's result equals attention run with u1 = q + o0.
+    Vector u1 = ep.query;
+    for (std::size_t j = 0; j < u1.size(); ++j)
+        u1[j] += m.hops[0].output[j];
+    const AttentionResult expected =
+        referenceAttention(ep.key, ep.value, u1);
+    EXPECT_EQ(m.hops[1].output, expected.output);
+    // Final query is u1 + o1.
+    for (std::size_t j = 0; j < u1.size(); ++j)
+        u1[j] += m.hops[1].output[j];
+    EXPECT_EQ(m.finalQuery, u1);
+}
+
+TEST(MultiHop, ThreeHopsProduceThreeResults)
+{
+    Rng rng(9102);
+    const EmbeddingEpisode ep =
+        generateEpisode(rng, EmbeddingParams{}, 20, 2);
+    const MultiHopAttention multi(ep.key, ep.value,
+                                  ApproxConfig::conservative(), 3);
+    const MultiHopResult m = multi.run(ep.query);
+    EXPECT_EQ(m.hops.size(), 3u);
+    EXPECT_EQ(multi.hopCount(), 3u);
+    for (const AttentionResult &hop : m.hops)
+        EXPECT_FALSE(hop.kept.empty());
+}
+
+TEST(MultiHop, ApproxHopsShareThePreprocessedKey)
+{
+    // The same engine (and sorted key) serves every hop; candidate
+    // sets may differ per hop because the query evolves.
+    Rng rng(9103);
+    const EmbeddingEpisode ep =
+        generateEpisode(rng, EmbeddingParams{}, 30, 1);
+    ApproxConfig cfg = ApproxConfig::conservative();
+    const MultiHopAttention multi(ep.key, ep.value, cfg, 2);
+    const MultiHopResult m = multi.run(ep.query);
+    EXPECT_EQ(multi.engine().sortedKey().rows(), 30u);
+    EXPECT_LE(m.hops[0].candidates.size(), 30u);
+    EXPECT_LE(m.hops[1].candidates.size(), 30u);
+}
+
+TEST(MultiHop, RelevantRowUsuallySurvivesHops)
+{
+    // With a planted relevant row and random value rows, the additive
+    // query update perturbs but should not catastrophically lose the
+    // relevant row: it stays argmax in at least half the episodes.
+    Rng rng(9104);
+    int kept = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+        const EmbeddingEpisode ep =
+            generateEpisode(rng, EmbeddingParams{}, 20, 1);
+        const MultiHopAttention multi(ep.key, ep.value,
+                                      ApproxConfig::exact(), 3);
+        const MultiHopResult m = multi.run(ep.query);
+        std::size_t top = 0;
+        const Vector &w = m.finalHop().weights;
+        for (std::size_t r = 1; r < w.size(); ++r) {
+            if (w[r] > w[top])
+                top = r;
+        }
+        kept += (top == ep.relevantRows[0]);
+    }
+    EXPECT_GE(kept, trials / 2);
+}
+
+}  // namespace
+}  // namespace a3

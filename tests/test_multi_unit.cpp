@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the multi-unit cluster model (Section III-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/power_model.hpp"
+#include "sim/multi_unit.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+struct RandomTask
+{
+    Matrix key;
+    Matrix value;
+    std::vector<Vector> queries;
+};
+
+RandomTask
+makeTask(Rng &rng, std::size_t n, std::size_t d, std::size_t queries)
+{
+    RandomTask t;
+    t.key = Matrix(n, d);
+    t.value = Matrix(n, d);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            t.key(r, c) = static_cast<float>(rng.normal());
+            t.value(r, c) = static_cast<float>(rng.normal());
+        }
+    }
+    t.queries.resize(queries);
+    for (auto &q : t.queries) {
+        q.resize(d);
+        for (auto &x : q)
+            x = static_cast<float>(rng.normal());
+    }
+    return t;
+}
+
+SimConfig
+baseConfig(std::size_t n)
+{
+    SimConfig cfg;
+    cfg.maxRows = n;
+    cfg.dims = 64;
+    cfg.mode = A3Mode::Base;
+    return cfg;
+}
+
+TEST(Cluster, SingleUnitMatchesAccelerator)
+{
+    Rng rng(9300);
+    const RandomTask t = makeTask(rng, 64, 64, 8);
+
+    A3Cluster cluster(baseConfig(64), 1);
+    cluster.loadTask(t.key, t.value);
+    const ClusterStats cs = cluster.runAll(t.queries);
+
+    A3Accelerator solo(baseConfig(64));
+    solo.loadTask(t.key, t.value);
+    const RunStats rs = solo.runAll(t.queries);
+
+    EXPECT_EQ(cs.queries, rs.queries);
+    EXPECT_EQ(cs.makespan, rs.totalCycles);
+    EXPECT_DOUBLE_EQ(cs.avgLatency, rs.avgLatency);
+}
+
+TEST(Cluster, DispatchIsBalanced)
+{
+    Rng rng(9301);
+    const RandomTask t = makeTask(rng, 32, 64, 12);
+    A3Cluster cluster(baseConfig(32), 4);
+    cluster.loadTask(t.key, t.value);
+    const ClusterStats cs = cluster.runAll(t.queries);
+    ASSERT_EQ(cs.perUnitQueries.size(), 4u);
+    for (std::uint64_t q : cs.perUnitQueries)
+        EXPECT_EQ(q, 3u);
+}
+
+TEST(Cluster, ThroughputScalesNearLinearly)
+{
+    // Section VI-C: "using multiple A3 units can achieve near-perfect
+    // scaling behavior" for self-attention-style batches.
+    Rng rng(9302);
+    const RandomTask t = makeTask(rng, 128, 64, 64);
+
+    A3Cluster one(baseConfig(128), 1);
+    one.loadTask(t.key, t.value);
+    const double opsOne = one.runAll(t.queries).queriesPerSecond;
+
+    A3Cluster four(baseConfig(128), 4);
+    four.loadTask(t.key, t.value);
+    const double opsFour = four.runAll(t.queries).queriesPerSecond;
+
+    EXPECT_GT(opsFour / opsOne, 3.3);
+    EXPECT_LT(opsFour / opsOne, 4.2);
+}
+
+TEST(Cluster, LatencyUnchangedByReplication)
+{
+    // Extra units multiply throughput but a single query still takes
+    // one pipeline traversal.
+    Rng rng(9303);
+    const RandomTask t = makeTask(rng, 100, 64, 16);
+    A3Cluster one(baseConfig(100), 1);
+    one.loadTask(t.key, t.value);
+    A3Cluster four(baseConfig(100), 4);
+    four.loadTask(t.key, t.value);
+    const double latOne = one.runAll(t.queries).avgLatency;
+    const double latFour = four.runAll(t.queries).avgLatency;
+    EXPECT_DOUBLE_EQ(latOne, latFour);
+    EXPECT_DOUBLE_EQ(latOne, 327.0);  // 3n + 27
+}
+
+TEST(Cluster, EnergyScalesWithUnits)
+{
+    Rng rng(9304);
+    const RandomTask t = makeTask(rng, 64, 64, 32);
+    A3Cluster one(baseConfig(64), 1);
+    one.loadTask(t.key, t.value);
+    one.runAll(t.queries);
+    A3Cluster two(baseConfig(64), 2);
+    two.loadTask(t.key, t.value);
+    two.runAll(t.queries);
+    // Same total work split across two units: dynamic energy is equal
+    // and static roughly halves per unit but runs on two units, so
+    // the totals stay within ~20%.
+    const double e1 = clusterEnergy(one);
+    const double e2 = clusterEnergy(two);
+    EXPECT_GT(e2, 0.8 * e1);
+    EXPECT_LT(e2, 1.5 * e1);
+}
+
+}  // namespace
+}  // namespace a3

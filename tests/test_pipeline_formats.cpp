@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the Section III-B per-stage bitwidth derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixed/pipeline_formats.hpp"
+#include "fixed/value.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(CeilLog2, KnownValues)
+{
+    EXPECT_EQ(ceilLog2(1), 0);
+    EXPECT_EQ(ceilLog2(2), 1);
+    EXPECT_EQ(ceilLog2(3), 2);
+    EXPECT_EQ(ceilLog2(64), 6);
+    EXPECT_EQ(ceilLog2(65), 7);
+    EXPECT_EQ(ceilLog2(320), 9);
+}
+
+TEST(PipelineFormats, PaperConfiguration)
+{
+    // i = f = 4, n = 320, d = 64 (Section VI-D).
+    const PipelineFormats pf = PipelineFormats::derive(4, 4, 320, 64);
+    EXPECT_EQ(pf.input.str(), "Q4.4");
+    EXPECT_EQ(pf.product.str(), "Q8.8");
+    EXPECT_EQ(pf.dotProduct.str(), "Q14.8");   // 2i + log2(64) = 14
+    EXPECT_EQ(pf.shiftedDot.str(), "Q15.8");
+    EXPECT_EQ(pf.score.str(), "Q0.8");
+    EXPECT_EQ(pf.expSum.str(), "Q9.8");        // ceil(log2 320) = 9
+    EXPECT_EQ(pf.weight.str(), "Q0.8");
+    EXPECT_EQ(pf.output.str(), "Q13.12");      // i + log2 n, 3f
+}
+
+/**
+ * Property: the derived widths admit no overflow for worst-case
+ * inputs — d products of extreme values summed, max-subtraction,
+ * score accumulation over n rows.
+ */
+class NoOverflowProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(NoOverflowProperty, WorstCaseFitsEveryStage)
+{
+    const auto [i, f, n, d] = GetParam();
+    const PipelineFormats pf = PipelineFormats::derive(
+        i, f, static_cast<std::size_t>(n), static_cast<std::size_t>(d));
+
+    // Worst-case product magnitude: minRaw * minRaw.
+    const FixedFormat in = pf.input;
+    const std::int64_t worstProduct = in.minRaw() * in.minRaw();
+    EXPECT_TRUE(pf.product.fits(worstProduct));
+    EXPECT_TRUE(pf.product.fits(-worstProduct + 1));
+
+    // Worst-case dot product: d extreme products summed.
+    const std::int64_t worstDot = worstProduct * d;
+    EXPECT_TRUE(pf.dotProduct.fits(worstDot))
+        << "i=" << i << " f=" << f << " d=" << d;
+    const std::int64_t worstNegDot = (in.minRaw() * in.maxRaw()) * d;
+    EXPECT_TRUE(pf.dotProduct.fits(worstNegDot));
+
+    // Max subtraction: most negative shifted value.
+    EXPECT_TRUE(pf.shiftedDot.fits(worstNegDot - worstDot));
+
+    // expsum: n scores of at most (1 - 2^-2f) each.
+    const std::int64_t maxScore = pf.score.maxRaw();
+    EXPECT_TRUE(pf.expSum.fits(maxScore * n));
+
+    // Output: n weighted values; weight <= 1, value within input range.
+    const std::int64_t worstOut =
+        pf.weight.maxRaw() * in.minRaw() * n;
+    EXPECT_TRUE(pf.output.fits(worstOut))
+        << "i=" << i << " f=" << f << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NoOverflowProperty,
+    ::testing::Combine(::testing::Values(2, 4, 6),       // i
+                       ::testing::Values(2, 4, 6),       // f
+                       ::testing::Values(20, 186, 320),  // n
+                       ::testing::Values(16, 64)));      // d
+
+TEST(PipelineFormats, RandomDataNeverOverflowsDotStage)
+{
+    Rng rng(600);
+    const PipelineFormats pf = PipelineFormats::derive(4, 4, 320, 64);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::int64_t sum = 0;
+        for (int j = 0; j < 64; ++j) {
+            const std::int64_t k =
+                rng.uniformInt(pf.input.minRaw(), pf.input.maxRaw());
+            const std::int64_t q =
+                rng.uniformInt(pf.input.minRaw(), pf.input.maxRaw());
+            sum += k * q;
+        }
+        EXPECT_TRUE(pf.dotProduct.fits(sum));
+    }
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for post-scoring selection (Section IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/post_scoring.hpp"
+#include "attention/reference.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(Threshold, ConversionRoundTrips)
+{
+    for (double t : {1.0, 2.5, 5.0, 10.0, 20.0, 100.0}) {
+        EXPECT_NEAR(percentFromThreshold(thresholdFromPercent(t)), t,
+                    1e-9);
+    }
+}
+
+TEST(Threshold, KnownValues)
+{
+    // T = 100% -> t = 0 (keep only rows tied with the max).
+    EXPECT_NEAR(thresholdFromPercent(100.0), 0.0, 1e-12);
+    // T = 100/e % -> t = 1.
+    EXPECT_NEAR(thresholdFromPercent(100.0 / std::exp(1.0)), 1.0,
+                1e-9);
+}
+
+TEST(PostScoring, KeepsRowsWithinGap)
+{
+    const std::vector<std::uint32_t> rows{3, 7, 9, 12};
+    const Vector scores{5.0f, 2.0f, 4.5f, -1.0f};
+    const auto kept = postScoringSelect(rows, scores, 1.0);
+    EXPECT_EQ(kept, (std::vector<std::uint32_t>{3, 9}));
+}
+
+TEST(PostScoring, ZeroGapKeepsOnlyMax)
+{
+    const std::vector<std::uint32_t> rows{0, 1, 2};
+    const Vector scores{1.0f, 3.0f, 3.0f};
+    const auto kept = postScoringSelect(rows, scores, 0.0);
+    EXPECT_EQ(kept, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(PostScoring, HugeGapKeepsEverything)
+{
+    const std::vector<std::uint32_t> rows{0, 1, 2};
+    const Vector scores{-10.0f, 0.0f, 10.0f};
+    const auto kept = postScoringSelect(rows, scores, 1e9);
+    EXPECT_EQ(kept, rows);
+}
+
+TEST(PostScoring, EmptyInput)
+{
+    EXPECT_TRUE(postScoringSelect({}, {}, 1.0).empty());
+}
+
+TEST(PostScoring, PreservesInputOrder)
+{
+    const std::vector<std::uint32_t> rows{9, 1, 5};
+    const Vector scores{3.0f, 3.0f, 3.0f};
+    EXPECT_EQ(postScoringSelect(rows, scores, 0.5), rows);
+}
+
+/**
+ * The defining property (Section IV-D): a row survives iff its
+ * post-softmax weight would be at least T% of the maximum weight.
+ */
+class WeightSemantics : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(WeightSemantics, KeptIffWeightAboveTPercentOfMax)
+{
+    const double tPercent = GetParam();
+    Rng rng(3000 + static_cast<std::uint64_t>(tPercent * 10));
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 40));
+        std::vector<std::uint32_t> rows(n);
+        Vector scores(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            rows[i] = static_cast<std::uint32_t>(i);
+            scores[i] = static_cast<float>(rng.normal(0.0, 3.0));
+        }
+        const auto kept = postScoringSelect(
+            rows, scores, thresholdFromPercent(tPercent));
+
+        const Vector weights = softmax(scores);
+        float maxWeight = 0.0f;
+        for (float w : weights)
+            maxWeight = std::max(maxWeight, w);
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool isKept =
+                std::find(kept.begin(), kept.end(), rows[i]) !=
+                kept.end();
+            const double ratio = static_cast<double>(weights[i]) /
+                                 static_cast<double>(maxWeight);
+            if (ratio > tPercent / 100.0 * (1.0 + 1e-4)) {
+                EXPECT_TRUE(isKept) << "ratio " << ratio;
+            } else if (ratio < tPercent / 100.0 * (1.0 - 1e-4)) {
+                EXPECT_FALSE(isKept) << "ratio " << ratio;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, WeightSemantics,
+                         ::testing::Values(1.0, 2.5, 5.0, 10.0, 20.0,
+                                           50.0));
+
+/** Monotonicity: lower T (more conservative) never keeps fewer rows. */
+TEST(PostScoring, MonotoneInThreshold)
+{
+    Rng rng(3100);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 30;
+        std::vector<std::uint32_t> rows(n);
+        Vector scores(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            rows[i] = static_cast<std::uint32_t>(i);
+            scores[i] = static_cast<float>(rng.normal(0.0, 2.0));
+        }
+        std::size_t prev = 0;
+        for (double t : {20.0, 10.0, 5.0, 2.5, 1.0}) {
+            const auto kept = postScoringSelect(
+                rows, scores, thresholdFromPercent(t));
+            EXPECT_GE(kept.size(), prev);
+            prev = kept.size();
+        }
+    }
+}
+
+}  // namespace
+}  // namespace a3

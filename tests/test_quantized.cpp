@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the bit-accurate fixed-point pipeline (Section III-B) and
+ * the Section VI-B quantization claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/quantized.hpp"
+#include "attention/reference.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+struct RandomTask
+{
+    Matrix key;
+    Matrix value;
+    Vector query;
+};
+
+RandomTask
+makeTask(Rng &rng, std::size_t n, std::size_t d, double scale = 1.0)
+{
+    RandomTask t;
+    t.key = Matrix(n, d);
+    t.value = Matrix(n, d);
+    t.query.resize(d);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            t.key(r, c) = static_cast<float>(rng.normal(0.0, scale));
+            t.value(r, c) = static_cast<float>(rng.normal(0.0, scale));
+        }
+    }
+    for (auto &x : t.query)
+        x = static_cast<float>(rng.normal(0.0, scale));
+    return t;
+}
+
+TEST(QuantizedAttention, WeightsApproximatelySumToOne)
+{
+    Rng rng(5000);
+    const RandomTask t = makeTask(rng, 30, 16);
+    const QuantizedAttention qa(4, 4, 30, 16);
+    const AttentionResult r = qa.run(t.key, t.value, t.query);
+    float sum = 0.0f;
+    for (float w : r.weights)
+        sum += w;
+    // Truncating division loses at most one LSB per row.
+    EXPECT_NEAR(sum, 1.0f, 30.0f / 256.0f);
+}
+
+TEST(QuantizedAttention, MatchesReferenceWithinBoundAtF8)
+{
+    Rng rng(5001);
+    const RandomTask t = makeTask(rng, 20, 16);
+    const QuantizedAttention qa(4, 8, 20, 16);
+    const AttentionResult q = qa.run(t.key, t.value, t.query);
+    const AttentionResult ref =
+        referenceAttention(t.key, t.value, t.query);
+    EXPECT_LT(maxAbsDiff(q.output, ref.output), 0.05f);
+}
+
+TEST(QuantizedAttention, ErrorDecreasesWithFractionBits)
+{
+    Rng rng(5002);
+    double prevErr = 1e9;
+    for (int f : {2, 4, 6, 8, 10}) {
+        double worst = 0.0;
+        Rng trialRng = rng.split();
+        for (int trial = 0; trial < 10; ++trial) {
+            const RandomTask t = makeTask(trialRng, 24, 16);
+            const QuantizedAttention qa(4, f, 24, 16);
+            const AttentionResult q = qa.run(t.key, t.value, t.query);
+            const AttentionResult ref =
+                referenceAttention(t.key, t.value, t.query);
+            worst = std::max(
+                worst,
+                static_cast<double>(maxAbsDiff(q.output, ref.output)));
+        }
+        EXPECT_LT(worst, prevErr * 1.5)
+            << "f=" << f;  // allow noise but require overall decay
+        prevErr = std::min(prevErr, worst);
+    }
+    EXPECT_LT(prevErr, 0.02);
+}
+
+TEST(QuantizedAttention, SubsetRunNormalizesOverSubset)
+{
+    Rng rng(5003);
+    const RandomTask t = makeTask(rng, 16, 8);
+    const QuantizedAttention qa(4, 6, 16, 8);
+    const std::vector<std::uint32_t> rows{2, 5, 11};
+    const AttentionResult r = qa.run(t.key, t.value, t.query, rows);
+    float sum = 0.0f;
+    for (std::size_t row = 0; row < 16; ++row) {
+        const bool in = std::find(rows.begin(), rows.end(),
+                                  static_cast<std::uint32_t>(row)) !=
+                        rows.end();
+        if (!in) {
+            EXPECT_FLOAT_EQ(r.weights[row], 0.0f);
+            EXPECT_FLOAT_EQ(r.scores[row], 0.0f);
+        }
+        sum += r.weights[row];
+    }
+    EXPECT_NEAR(sum, 1.0f, 3.0f / 64.0f);
+}
+
+TEST(QuantizedAttention, ExtremeInputsDoNotOverflow)
+{
+    // Drive every element to the quantization range limits; the
+    // Section III-B widths must absorb it (the run would panic on
+    // overflow otherwise).
+    const std::size_t n = 320;
+    const std::size_t d = 64;
+    Matrix key(n, d);
+    Matrix value(n, d);
+    Vector query(d);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            key(r, c) = (r % 2) ? 15.9375f : -16.0f;
+            value(r, c) = (c % 2) ? 15.9375f : -16.0f;
+        }
+    }
+    for (std::size_t c = 0; c < d; ++c)
+        query[c] = (c % 3) ? -16.0f : 15.9375f;
+
+    const QuantizedAttention qa(4, 4, n, d);
+    const AttentionResult r = qa.run(key, value, query);
+    EXPECT_EQ(r.output.size(), d);
+    for (float o : r.output) {
+        EXPECT_GE(o, -16.0f - 1e-3f);
+        EXPECT_LE(o, 16.0f + 1e-3f);  // convex combo of value range
+    }
+}
+
+TEST(QuantizedAttention, TopWeightRowAgreesWithReference)
+{
+    // Quantization must not disturb which row wins when the margin is
+    // clear (the basis of the <0.1% accuracy-loss claim).
+    Rng rng(5004);
+    int agreements = 0;
+    const int trials = 50;
+    for (int trial = 0; trial < trials; ++trial) {
+        RandomTask t = makeTask(rng, 20, 16);
+        // Plant a clear winner.
+        for (std::size_t c = 0; c < 16; ++c)
+            t.key(7, c) = t.query[c] * 0.5f;
+        const QuantizedAttention qa(4, 4, 20, 16);
+        const AttentionResult q = qa.run(t.key, t.value, t.query);
+        const AttentionResult ref =
+            referenceAttention(t.key, t.value, t.query);
+        std::size_t qTop = 0;
+        std::size_t rTop = 0;
+        for (std::size_t row = 1; row < 20; ++row) {
+            if (q.weights[row] > q.weights[qTop])
+                qTop = row;
+            if (ref.weights[row] > ref.weights[rTop])
+                rTop = row;
+        }
+        agreements += (qTop == rTop);
+    }
+    EXPECT_GE(agreements, trials - 2);
+}
+
+TEST(QuantizedAttention, FormatsExposedMatchDerivation)
+{
+    const QuantizedAttention qa(4, 4, 320, 64);
+    EXPECT_EQ(qa.formats().dotProduct.str(), "Q14.8");
+    EXPECT_EQ(qa.formats().output.str(), "Q13.12");
+    EXPECT_EQ(qa.expLut().outputFormat().str(), "Q0.8");
+}
+
+TEST(QuantizedAttention, DeterministicAcrossRuns)
+{
+    Rng rng(5005);
+    const RandomTask t = makeTask(rng, 12, 8);
+    const QuantizedAttention qa(4, 4, 12, 8);
+    const AttentionResult a = qa.run(t.key, t.value, t.query);
+    const AttentionResult b = qa.run(t.key, t.value, t.query);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.weights, b.weights);
+}
+
+}  // namespace
+}  // namespace a3

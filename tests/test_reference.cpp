@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for exact floating-point attention (Figure 1 semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "attention/reference.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(Softmax, SumsToOne)
+{
+    const Vector w = softmax({1.0f, 2.0f, 3.0f, 4.0f});
+    float sum = 0.0f;
+    for (float x : w)
+        sum += x;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(Softmax, UniformInputGivesUniformWeights)
+{
+    const Vector w = softmax({2.0f, 2.0f, 2.0f, 2.0f});
+    for (float x : w)
+        EXPECT_NEAR(x, 0.25f, 1e-6f);
+}
+
+TEST(Softmax, InvariantToConstantShift)
+{
+    const Vector a = softmax({1.0f, 2.0f, 3.0f});
+    const Vector b = softmax({101.0f, 102.0f, 103.0f});
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-6f);
+}
+
+TEST(Softmax, StableForLargeMagnitudes)
+{
+    const Vector w = softmax({1000.0f, 999.0f});
+    EXPECT_NEAR(w[0], 1.0f / (1.0f + std::exp(-1.0f)), 1e-5f);
+    EXPECT_FALSE(std::isnan(w[0]));
+}
+
+TEST(ReferenceAttention, HandComputedCase)
+{
+    // Two rows; scores 1 and 0, weights e/(e+1) and 1/(e+1).
+    const Matrix key = Matrix::fromRows({{1.0f, 0.0f}, {0.0f, 0.0f}});
+    const Matrix value =
+        Matrix::fromRows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+    const Vector query{1.0f, 0.0f};
+    const AttentionResult r = referenceAttention(key, value, query);
+
+    const float w0 =
+        std::exp(1.0f) / (std::exp(1.0f) + std::exp(0.0f));
+    EXPECT_NEAR(r.weights[0], w0, 1e-6f);
+    EXPECT_NEAR(r.weights[1], 1.0f - w0, 1e-6f);
+    EXPECT_NEAR(r.output[0], w0 * 1.0f + (1.0f - w0) * 3.0f, 1e-5f);
+    EXPECT_NEAR(r.output[1], w0 * 2.0f + (1.0f - w0) * 4.0f, 1e-5f);
+    EXPECT_FLOAT_EQ(r.scores[0], 1.0f);
+    EXPECT_FLOAT_EQ(r.scores[1], 0.0f);
+}
+
+TEST(ReferenceAttention, SingleRowReturnsThatValueRow)
+{
+    const Matrix key = Matrix::fromRows({{0.5f, -0.5f}});
+    const Matrix value = Matrix::fromRows({{7.0f, -3.0f}});
+    const AttentionResult r =
+        referenceAttention(key, value, {1.0f, 1.0f});
+    EXPECT_FLOAT_EQ(r.weights[0], 1.0f);
+    EXPECT_FLOAT_EQ(r.output[0], 7.0f);
+    EXPECT_FLOAT_EQ(r.output[1], -3.0f);
+}
+
+TEST(SubsetAttention, FullSetMatchesReference)
+{
+    Rng rng(700);
+    const std::size_t n = 12;
+    const std::size_t d = 8;
+    Matrix key(n, d);
+    Matrix value(n, d);
+    Vector query(d);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            key(r, c) = static_cast<float>(rng.normal());
+            value(r, c) = static_cast<float>(rng.normal());
+        }
+    }
+    for (auto &x : query)
+        x = static_cast<float>(rng.normal());
+
+    std::vector<std::uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    const AttentionResult a = referenceAttention(key, value, query);
+    const AttentionResult b = subsetAttention(key, value, query, all);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.weights, b.weights);
+}
+
+TEST(SubsetAttention, SubsetNormalizesOverSubsetOnly)
+{
+    const Matrix key =
+        Matrix::fromRows({{1.0f}, {2.0f}, {3.0f}});
+    const Matrix value =
+        Matrix::fromRows({{1.0f}, {10.0f}, {100.0f}});
+    const AttentionResult r =
+        subsetAttention(key, value, {1.0f}, {0, 2});
+    // Row 1 excluded entirely.
+    EXPECT_FLOAT_EQ(r.weights[1], 0.0f);
+    EXPECT_NEAR(r.weights[0] + r.weights[2], 1.0f, 1e-6f);
+    // Output is a convex combination of rows 0 and 2 only.
+    EXPECT_GT(r.output[0], 1.0f);
+    EXPECT_LT(r.output[0], 100.0f);
+}
+
+TEST(SubsetAttention, ResultBookkeeping)
+{
+    const Matrix key = Matrix::fromRows({{1.0f}, {2.0f}});
+    const Matrix value = Matrix::fromRows({{1.0f}, {2.0f}});
+    const AttentionResult r =
+        subsetAttention(key, value, {1.0f}, {1});
+    EXPECT_EQ(r.candidates, (std::vector<std::uint32_t>{1}));
+    EXPECT_EQ(r.kept, (std::vector<std::uint32_t>{1}));
+    EXPECT_FLOAT_EQ(r.scores[1], 2.0f);
+    EXPECT_FLOAT_EQ(r.scores[0], 0.0f);
+}
+
+/** Property: output is always inside the convex hull of value rows. */
+TEST(ReferenceAttention, OutputInConvexHull)
+{
+    Rng rng(800);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 30));
+        const std::size_t d = 4;
+        Matrix key(n, d);
+        Matrix value(n, d);
+        Vector query(d);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < d; ++c) {
+                key(r, c) = static_cast<float>(rng.normal());
+                value(r, c) = static_cast<float>(rng.normal());
+            }
+        }
+        for (auto &x : query)
+            x = static_cast<float>(rng.normal());
+        const AttentionResult res =
+            referenceAttention(key, value, query);
+        for (std::size_t c = 0; c < d; ++c) {
+            float lo = value(0, c);
+            float hi = value(0, c);
+            for (std::size_t r = 1; r < n; ++r) {
+                lo = std::min(lo, value(r, c));
+                hi = std::max(hi, value(r, c));
+            }
+            EXPECT_GE(res.output[c], lo - 1e-4f);
+            EXPECT_LE(res.output[c], hi + 1e-4f);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the self-attention layer and zero-padding (Section III-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "attention/self_attention.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+Matrix
+randomMatrix(Rng &rng, std::size_t n, std::size_t d)
+{
+    Matrix m(n, d);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            m(r, c) = static_cast<float>(rng.normal());
+    return m;
+}
+
+TEST(SelfAttention, ExactMatchesPerTokenReference)
+{
+    Rng rng(9200);
+    const Matrix key = randomMatrix(rng, 12, 8);
+    const Matrix value = randomMatrix(rng, 12, 8);
+    const Matrix queries = randomMatrix(rng, 12, 8);
+    const SelfAttentionResult r =
+        selfAttention(key, value, queries, ApproxConfig::exact());
+    ASSERT_EQ(r.outputs.rows(), 12u);
+    for (std::size_t t = 0; t < 12; ++t) {
+        Vector q(queries.row(t).begin(), queries.row(t).end());
+        const AttentionResult expected =
+            referenceAttention(key, value, q);
+        for (std::size_t j = 0; j < 8; ++j)
+            EXPECT_EQ(r.outputs(t, j), expected.output[j]);
+    }
+}
+
+TEST(SelfAttention, ApproxStatsAggregated)
+{
+    Rng rng(9201);
+    const Matrix key = randomMatrix(rng, 40, 16);
+    const Matrix value = randomMatrix(rng, 40, 16);
+    const Matrix queries = randomMatrix(rng, 40, 16);
+    const SelfAttentionResult r = selfAttention(
+        key, value, queries, ApproxConfig::conservative());
+    EXPECT_EQ(r.perToken.size(), 40u);
+    EXPECT_GT(r.avgCandidates, 0.0);
+    EXPECT_LE(r.avgCandidates, 40.0);
+    EXPECT_LE(r.avgKept, r.avgCandidates);
+}
+
+TEST(ZeroPad, PaddingIsExactForAttention)
+{
+    // Section III-C: a datapath sized for a larger d serves smaller
+    // embeddings via zero-padding with identical results.
+    Rng rng(9202);
+    const Matrix key = randomMatrix(rng, 10, 24);
+    const Matrix value = randomMatrix(rng, 10, 24);
+    Vector query(24);
+    for (auto &x : query)
+        x = static_cast<float>(rng.normal());
+
+    const AttentionResult narrow =
+        referenceAttention(key, value, query);
+    const AttentionResult wide = referenceAttention(
+        zeroPadColumns(key, 64), zeroPadColumns(value, 64),
+        zeroPad(query, 64));
+    for (std::size_t j = 0; j < 24; ++j)
+        EXPECT_FLOAT_EQ(wide.output[j], narrow.output[j]);
+    for (std::size_t j = 24; j < 64; ++j)
+        EXPECT_FLOAT_EQ(wide.output[j], 0.0f);
+    EXPECT_EQ(wide.weights, narrow.weights);
+}
+
+TEST(ZeroPad, PaddingPreservesApproxSelection)
+{
+    Rng rng(9203);
+    const Matrix key = randomMatrix(rng, 24, 16);
+    const Matrix value = randomMatrix(rng, 24, 16);
+    Vector query(16);
+    for (auto &x : query)
+        x = static_cast<float>(rng.normal());
+
+    const ApproxAttention narrow(key, value,
+                                 ApproxConfig::conservative());
+    const ApproxAttention wide(zeroPadColumns(key, 32),
+                               zeroPadColumns(value, 32),
+                               ApproxConfig::conservative());
+    const AttentionResult a = narrow.run(query);
+    const AttentionResult b = wide.run(zeroPad(query, 32));
+    // Padding columns produce zero products, which the greedy search
+    // never accumulates (only strictly positive/negative products
+    // count), so the candidate set is unchanged.
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.kept, b.kept);
+}
+
+TEST(ZeroPad, IdentityWhenAlreadyWide)
+{
+    Rng rng(9204);
+    const Matrix m = randomMatrix(rng, 3, 5);
+    EXPECT_TRUE(zeroPadColumns(m, 5) == m);
+    const Vector v{1.0f, 2.0f};
+    EXPECT_EQ(zeroPad(v, 2), v);
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the pipeline-stage framework and per-stage cycle models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/modules.hpp"
+#include "sim/sram.hpp"
+
+namespace a3 {
+namespace {
+
+SimConfig
+paperConfig(A3Mode mode)
+{
+    SimConfig cfg;
+    cfg.maxRows = 320;
+    cfg.dims = 64;
+    cfg.mode = mode;
+    return cfg;
+}
+
+std::unique_ptr<QueryJob>
+makeJob(std::size_t n, std::size_t m, std::size_t c, std::size_t k)
+{
+    auto job = std::make_unique<QueryJob>();
+    job->taskRows = n;
+    job->iterM = m;
+    job->candidatesC = c;
+    job->keptK = k;
+    return job;
+}
+
+TEST(StageCycles, DotProductIsRowsPlusNineAtD64)
+{
+    const SimConfig cfg = paperConfig(A3Mode::Base);
+    DotProductStage stage(cfg, nullptr);
+    EXPECT_EQ(stage.serviceTime(*makeJob(320, 0, 320, 320)), 329u);
+    EXPECT_EQ(stage.serviceTime(*makeJob(20, 0, 20, 20)), 29u);
+}
+
+TEST(StageCycles, DotProductExtraScalesWithTreeDepth)
+{
+    EXPECT_EQ(dotProductExtraCycles(64), 9u);   // 1 + 6 + 1 + 1
+    EXPECT_EQ(dotProductExtraCycles(16), 7u);   // 1 + 4 + 1 + 1
+    EXPECT_EQ(dotProductExtraCycles(128), 10u);
+}
+
+TEST(StageCycles, ExponentBaseModeIsRowsPlusNine)
+{
+    const SimConfig cfg = paperConfig(A3Mode::Base);
+    ExponentStage stage(cfg);
+    EXPECT_EQ(stage.serviceTime(*makeJob(320, 0, 320, 320)), 329u);
+}
+
+TEST(StageCycles, ExponentApproxAddsPostScoringCompares)
+{
+    const SimConfig cfg = paperConfig(A3Mode::Approx);
+    ExponentStage stage(cfg);
+    // C = 100 candidates -> ceil(100/16) = 7 compare cycles, K = 40.
+    EXPECT_EQ(stage.serviceTime(*makeJob(320, 160, 100, 40)),
+              7u + 40u + 9u);
+}
+
+TEST(StageCycles, OutputIsKeptPlusNine)
+{
+    const SimConfig cfg = paperConfig(A3Mode::Base);
+    OutputStage stage(cfg, nullptr);
+    EXPECT_EQ(stage.serviceTime(*makeJob(320, 0, 320, 320)), 329u);
+    EXPECT_EQ(outputExtraCycles(), 9u);  // 7 divide + 2 MAC
+}
+
+TEST(StageCycles, CandidateSelectionFormula)
+{
+    const SimConfig cfg = paperConfig(A3Mode::Approx);
+    CandidateSelectionStage stage(cfg, nullptr);
+    // init(1 + 4) + M + scan ceil(n/16).
+    EXPECT_EQ(stage.serviceTime(*makeJob(320, 160, 0, 0)),
+              5u + 160u + 20u);
+    EXPECT_EQ(stage.serviceTime(*makeJob(20, 10, 0, 0)),
+              5u + 10u + 2u);
+}
+
+TEST(Stage, AcceptReleaseLifecycle)
+{
+    const SimConfig cfg = paperConfig(A3Mode::Base);
+    OutputStage stage(cfg, nullptr);
+    EXPECT_TRUE(stage.idle());
+    stage.accept(makeJob(10, 0, 10, 10), 100);
+    EXPECT_FALSE(stage.idle());
+    EXPECT_FALSE(stage.done(100));
+    EXPECT_FALSE(stage.done(100 + 18));
+    EXPECT_TRUE(stage.done(100 + 19));
+    auto job = stage.release(100 + 19);
+    ASSERT_NE(job, nullptr);
+    EXPECT_TRUE(stage.idle());
+    EXPECT_EQ(stage.stats().jobs, 1u);
+    EXPECT_EQ(stage.stats().activeCycles, 19u);
+}
+
+TEST(Stage, StatsAccumulateAcrossJobs)
+{
+    const SimConfig cfg = paperConfig(A3Mode::Base);
+    DotProductStage stage(cfg, nullptr);
+    stage.accept(makeJob(10, 0, 10, 10), 0);
+    (void)stage.release(19);
+    stage.accept(makeJob(20, 0, 20, 20), 19);
+    (void)stage.release(19 + 29);
+    EXPECT_EQ(stage.stats().jobs, 2u);
+    EXPECT_EQ(stage.stats().activeCycles, 19u + 29u);
+    EXPECT_EQ(stage.stats().rowOps, 30u);
+}
+
+TEST(Stage, SramAccessAccounting)
+{
+    const SimConfig cfg = paperConfig(A3Mode::Base);
+    Sram key("key", 20480, 64);
+    DotProductStage stage(cfg, &key);
+    stage.accept(makeJob(50, 0, 50, 50), 0);
+    EXPECT_EQ(key.reads(), 50u);  // one row read per cycle
+}
+
+TEST(Sram, FillChecksCapacity)
+{
+    Sram s("buf", 1024, 16);
+    s.fill(1024, 64);
+    EXPECT_EQ(s.liveBytes(), 1024u);
+    EXPECT_EQ(s.writes(), 64u);
+    s.read(10);
+    EXPECT_EQ(s.accesses(), 74u);
+    s.resetCounters();
+    EXPECT_EQ(s.accesses(), 0u);
+    EXPECT_EQ(s.liveBytes(), 1024u);
+}
+
+TEST(ExponentStage, AuxCyclesTrackPostScoring)
+{
+    const SimConfig cfg = paperConfig(A3Mode::Approx);
+    ExponentStage stage(cfg);
+    stage.accept(makeJob(320, 160, 100, 40), 0);
+    EXPECT_EQ(stage.stats().auxCycles, 7u);  // ceil(100/16)
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the pre-sorted key matrix (Section IV-C preprocessing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attention/sorted_key.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+namespace {
+
+Matrix
+randomMatrix(Rng &rng, std::size_t n, std::size_t d)
+{
+    Matrix m(n, d);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            m(r, c) = static_cast<float>(rng.normal());
+    return m;
+}
+
+TEST(SortedKey, ColumnsAscending)
+{
+    Rng rng(900);
+    const Matrix key = randomMatrix(rng, 50, 16);
+    const SortedKey sk = SortedKey::build(key);
+    for (std::size_t c = 0; c < 16; ++c) {
+        for (std::size_t p = 1; p < 50; ++p)
+            EXPECT_LE(sk.at(p - 1, c).val, sk.at(p, c).val);
+    }
+}
+
+TEST(SortedKey, EntriesArePermutationOfColumn)
+{
+    Rng rng(901);
+    const Matrix key = randomMatrix(rng, 30, 8);
+    const SortedKey sk = SortedKey::build(key);
+    for (std::size_t c = 0; c < 8; ++c) {
+        std::multiset<float> original;
+        std::multiset<float> sorted;
+        std::set<std::uint32_t> rowIds;
+        for (std::size_t r = 0; r < 30; ++r) {
+            original.insert(key(r, c));
+            sorted.insert(sk.at(r, c).val);
+            rowIds.insert(sk.at(r, c).rowId);
+        }
+        EXPECT_EQ(original, sorted);
+        EXPECT_EQ(rowIds.size(), 30u);  // every row id exactly once
+    }
+}
+
+TEST(SortedKey, RowIdsPointBackToOriginalValues)
+{
+    Rng rng(902);
+    const Matrix key = randomMatrix(rng, 20, 4);
+    const SortedKey sk = SortedKey::build(key);
+    for (std::size_t c = 0; c < 4; ++c) {
+        for (std::size_t p = 0; p < 20; ++p) {
+            const SortedKeyEntry &e = sk.at(p, c);
+            EXPECT_EQ(key(e.rowId, c), e.val);
+        }
+    }
+}
+
+TEST(SortedKey, StableTieOrder)
+{
+    const Matrix key =
+        Matrix::fromRows({{1.0f}, {0.0f}, {1.0f}, {0.0f}});
+    const SortedKey sk = SortedKey::build(key);
+    // Ties keep original row order: zeros (rows 1, 3) then ones (0, 2).
+    EXPECT_EQ(sk.at(0, 0).rowId, 1u);
+    EXPECT_EQ(sk.at(1, 0).rowId, 3u);
+    EXPECT_EQ(sk.at(2, 0).rowId, 0u);
+    EXPECT_EQ(sk.at(3, 0).rowId, 2u);
+}
+
+TEST(SortedKey, StorageBytesMatchFigure8Layout)
+{
+    Rng rng(903);
+    const Matrix key = randomMatrix(rng, 10, 6);
+    const SortedKey sk = SortedKey::build(key);
+    EXPECT_EQ(sk.storageBytes(), 10u * 6u * 8u);
+    EXPECT_EQ(sk.rows(), 10u);
+    EXPECT_EQ(sk.cols(), 6u);
+}
+
+}  // namespace
+}  // namespace a3

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the synthetic workloads and task metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attention/reference.hpp"
+#include "baseline/device_models.hpp"
+#include "workloads/babi_like.hpp"
+#include "workloads/metrics.hpp"
+#include "workloads/squad_like.hpp"
+#include "workloads/wikimovies_like.hpp"
+#include "workloads/workload.hpp"
+
+namespace a3 {
+namespace {
+
+TEST(Metrics, TopKIndicesOrderedAndDeterministic)
+{
+    const Vector v{0.1f, 0.5f, 0.3f, 0.5f, 0.0f};
+    const auto top = topKIndices(v, 3);
+    // Ties broken by index: 1 before 3.
+    EXPECT_EQ(top, (std::vector<std::uint32_t>{1, 3, 2}));
+}
+
+TEST(Metrics, ArgmaxAccuracy)
+{
+    EXPECT_EQ(argmaxAccuracy({0.1f, 0.9f}, {1}), 1.0);
+    EXPECT_EQ(argmaxAccuracy({0.1f, 0.9f}, {0}), 0.0);
+    EXPECT_EQ(argmaxAccuracy({0.9f, 0.1f}, {0, 1}), 1.0);
+}
+
+TEST(Metrics, AveragePrecisionHandCase)
+{
+    // Ranking by weight: 3, 1, 0, 2. Relevant = {1, 2}.
+    // AP = (1/2) * (1/2 + 2/4) = 0.5.
+    const Vector w{0.2f, 0.3f, 0.1f, 0.4f};
+    EXPECT_NEAR(averagePrecision(w, {1, 2}), 0.5, 1e-12);
+}
+
+TEST(Metrics, AveragePrecisionPerfectRanking)
+{
+    const Vector w{0.5f, 0.3f, 0.1f, 0.05f};
+    EXPECT_NEAR(averagePrecision(w, {0, 1}), 1.0, 1e-12);
+}
+
+TEST(Metrics, AveragePrecisionIgnoresZeroWeightRows)
+{
+    // Relevant row 2 has zero weight (excluded by approximation): it
+    // must count as not retrieved, not as ranked by index order.
+    const Vector w{0.6f, 0.4f, 0.0f};
+    EXPECT_NEAR(averagePrecision(w, {0, 2}), 0.5, 1e-12);
+}
+
+TEST(Metrics, F1TopKHandCase)
+{
+    // Top-2 = {1, 0}; relevant = {1, 2}: precision 1/2, recall 1/2.
+    const Vector w{0.4f, 0.5f, 0.1f};
+    EXPECT_NEAR(f1TopK(w, {1, 2}, 2), 0.5, 1e-12);
+}
+
+TEST(Metrics, F1CountsOnlyPositiveWeightPredictions)
+{
+    // Only one positive weight; top-5 must not pad with zero rows.
+    const Vector w{0.0f, 1.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+    // Predicted = {1}; relevant = {1, 2}: P = 1, R = 1/2, F1 = 2/3.
+    EXPECT_NEAR(f1TopK(w, {1, 2}, 5), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, TopKRecall)
+{
+    const Vector scores{5.0f, 4.0f, 3.0f, 2.0f};
+    EXPECT_DOUBLE_EQ(topKRecall(scores, {0, 1}, 2), 1.0);
+    EXPECT_DOUBLE_EQ(topKRecall(scores, {0, 3}, 2), 0.5);
+    EXPECT_DOUBLE_EQ(topKRecall(scores, {3}, 2), 0.0);
+}
+
+TEST(Workloads, FactoryReturnsPaperOrder)
+{
+    const auto all = makeAllWorkloads();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0]->name(), "MemN2N");
+    EXPECT_EQ(all[1]->name(), "KV-MemN2N");
+    EXPECT_EQ(all[2]->name(), "BERT");
+}
+
+TEST(BabiLike, EpisodeShapesMatchPaper)
+{
+    BabiLikeWorkload w;
+    Rng rng(8000);
+    double nSum = 0.0;
+    std::size_t nMax = 0;
+    const int episodes = 300;
+    for (int e = 0; e < episodes; ++e) {
+        const AttentionTask t = w.sample(rng);
+        EXPECT_GE(t.key.rows(), 5u);
+        EXPECT_LE(t.key.rows(), 50u);
+        EXPECT_EQ(t.key.cols(), 64u);
+        EXPECT_EQ(t.queries.size(), 1u);
+        ASSERT_EQ(t.relevant.size(), 1u);
+        EXPECT_EQ(t.relevant[0].size(), 1u);
+        EXPECT_LT(t.relevant[0][0], t.key.rows());
+        nSum += static_cast<double>(t.key.rows());
+        nMax = std::max(nMax, t.key.rows());
+    }
+    // Average n near the paper's 20.
+    EXPECT_NEAR(nSum / episodes, 20.0, 3.0);
+    EXPECT_GT(nMax, 35u);
+}
+
+TEST(WikiMoviesLike, EpisodeShapesMatchPaper)
+{
+    WikiMoviesLikeWorkload w;
+    Rng rng(8001);
+    double nSum = 0.0;
+    const int episodes = 200;
+    for (int e = 0; e < episodes; ++e) {
+        const AttentionTask t = w.sample(rng);
+        EXPECT_GE(t.key.rows(), 80u);
+        EXPECT_LE(t.key.rows(), 292u);
+        EXPECT_GE(t.relevant[0].size(), 2u);
+        EXPECT_LE(t.relevant[0].size(), 6u);
+        // Relevant rows are distinct and in range.
+        std::set<std::uint32_t> unique(t.relevant[0].begin(),
+                                       t.relevant[0].end());
+        EXPECT_EQ(unique.size(), t.relevant[0].size());
+        nSum += static_cast<double>(t.key.rows());
+    }
+    EXPECT_NEAR(nSum / episodes, 186.0, 10.0);
+}
+
+TEST(SquadLike, EpisodeShapesMatchPaper)
+{
+    SquadLikeWorkload w;
+    Rng rng(8002);
+    const AttentionTask t = w.sample(rng);
+    EXPECT_EQ(t.key.rows(), 320u);
+    EXPECT_EQ(t.queries.size(), 320u);
+    EXPECT_TRUE(w.selfAttention());
+
+    std::size_t scored = 0;
+    for (const auto &rel : t.relevant) {
+        if (!rel.empty()) {
+            ++scored;
+            EXPECT_EQ(rel.size(), SquadLikeWorkload::spanLength);
+            // Contiguous span.
+            for (std::size_t i = 1; i < rel.size(); ++i)
+                EXPECT_EQ(rel[i], rel[i - 1] + 1);
+        }
+    }
+    EXPECT_EQ(scored, SquadLikeWorkload::questionTokens);
+}
+
+TEST(Workloads, SamplingIsDeterministicInSeed)
+{
+    BabiLikeWorkload w;
+    Rng a(42);
+    Rng b(42);
+    const AttentionTask ta = w.sample(a);
+    const AttentionTask tb = w.sample(b);
+    EXPECT_TRUE(ta.key == tb.key);
+    EXPECT_EQ(ta.queries[0], tb.queries[0]);
+    EXPECT_EQ(ta.relevant[0], tb.relevant[0]);
+}
+
+TEST(Workloads, ExactAttentionNearPaperBaseline)
+{
+    // Loose guard band; the tight comparison lives in EXPERIMENTS.md.
+    const auto all = makeAllWorkloads();
+    for (const auto &w : all) {
+        Rng rng(8003);
+        double sum = 0.0;
+        std::size_t count = 0;
+        const int episodes = w->selfAttention() ? 10 : 120;
+        for (int e = 0; e < episodes; ++e) {
+            const AttentionTask t = w->sample(rng);
+            for (std::size_t qi = 0; qi < t.queries.size(); ++qi) {
+                if (t.relevant[qi].empty())
+                    continue;
+                const AttentionResult r = referenceAttention(
+                    t.key, t.value, t.queries[qi]);
+                sum += w->score(t, qi, r);
+                ++count;
+            }
+        }
+        const double metric = sum / static_cast<double>(count);
+        EXPECT_NEAR(metric, w->paperBaselineMetric(), 0.06)
+            << w->name();
+    }
+}
+
+TEST(Workloads, TimeShareProfilesMatchFigure3Shape)
+{
+    const auto all = makeAllWorkloads();
+    for (const auto &w : all) {
+        const TimeShareProfile p = w->timeShare();
+        TimeShareModel m;
+        m.attentionSec = 1.0;
+        m.comprehensionSec = p.comprehensionOverAttention;
+        m.otherQuerySec = p.otherQueryOverAttention;
+        // Paper: attention is >35% of inference for every workload.
+        EXPECT_GT(m.attentionShareTotal(), 0.35) << w->name();
+        if (!w->selfAttention()) {
+            // And >70% of query-response time for the memory networks.
+            EXPECT_GT(m.attentionShareQueryTime(), 0.70) << w->name();
+        }
+    }
+}
+
+}  // namespace
+}  // namespace a3
