@@ -1,0 +1,174 @@
+/**
+ * @file
+ * AttentionEngine throughput sweep: queries/sec for batch sizes
+ * {1, 16, 128} x thread counts {1, hardware_concurrency}, against one
+ * preprocessed 320 x 64 conservative-approximation task (the BERT
+ * shape of Section VI-A).
+ *
+ * Emits a JSON array on stdout (one object per configuration, timing
+ * aggregated with util/stats' RunningStat); pass a path argument to
+ * also dump the same rows as CSV via util/csv.
+ *
+ * Usage: engine_throughput [out.csv] [--repeats R]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attention/approx_attention.hpp"
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace a3;
+
+struct SweepRow
+{
+    std::size_t batch = 0;
+    std::size_t threads = 0;
+    double queriesPerSecond = 0.0;
+    double meanBatchSeconds = 0.0;
+    double stddevBatchSeconds = 0.0;
+    std::size_t repeats = 0;
+};
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+SweepRow
+measure(const AttentionEngine &engine, const ApproxAttention &backend,
+        const std::vector<Vector> &queries, std::size_t repeats)
+{
+    // Warm-up pass: pulls the task into cache and spins the pool up.
+    engine.run(backend, queries);
+
+    RunningStat batchSeconds;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double start = now();
+        const std::vector<AttentionResult> results =
+            engine.run(backend, queries);
+        batchSeconds.add(now() - start);
+        if (results.size() != queries.size())
+            fatal("engine dropped results");
+    }
+
+    SweepRow row;
+    row.batch = queries.size();
+    row.threads = engine.threads();
+    row.meanBatchSeconds = batchSeconds.mean();
+    row.stddevBatchSeconds = batchSeconds.stddev();
+    // Best-of-repeats throughput: robust against scheduler noise.
+    row.queriesPerSecond =
+        static_cast<double>(queries.size()) / batchSeconds.min();
+    row.repeats = batchSeconds.count();
+    return row;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string csvPath;
+    std::size_t repeats = 40;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--repeats") == 0) {
+            if (i + 1 >= argc)
+                fatal("--repeats needs a value");
+            const long parsed = std::atol(argv[++i]);
+            if (parsed <= 0)
+                fatal("--repeats must be a positive integer, got \"",
+                      argv[i], "\"");
+            repeats = static_cast<std::size_t>(parsed);
+        } else {
+            csvPath = argv[i];
+        }
+    }
+
+    // BERT shape: n = 320 rows, d = 64, conservative approximation.
+    Rng rng(bench::benchSeed);
+    const std::size_t n = 320;
+    const std::size_t d = 64;
+    Matrix key(n, d);
+    Matrix value(n, d);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            key(r, c) = static_cast<float>(rng.normal());
+            value(r, c) = static_cast<float>(rng.normal());
+        }
+    }
+    const ApproxAttention backend(key, value,
+                                  ApproxConfig::conservative());
+
+    std::vector<Vector> pool(128);
+    for (auto &q : pool) {
+        q.resize(d);
+        for (auto &x : q)
+            x = static_cast<float>(rng.normal());
+    }
+
+    const std::size_t hw = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+    std::vector<std::size_t> threadCounts{1};
+    if (hw > 1)
+        threadCounts.push_back(hw);
+
+    std::vector<SweepRow> rows;
+    for (std::size_t threads : threadCounts) {
+        const AttentionEngine engine(threads);
+        for (std::size_t batch : {std::size_t{1}, std::size_t{16},
+                                  std::size_t{128}}) {
+            const std::vector<Vector> queries(pool.begin(),
+                                              pool.begin() +
+                                                  static_cast<long>(
+                                                      batch));
+            rows.push_back(
+                measure(engine, backend, queries, repeats));
+        }
+    }
+
+    std::printf("[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        std::printf("  {\"batch\": %zu, \"threads\": %zu, "
+                    "\"queries_per_second\": %.1f, "
+                    "\"mean_batch_seconds\": %.3e, "
+                    "\"stddev_batch_seconds\": %.3e, "
+                    "\"repeats\": %zu}%s\n",
+                    r.batch, r.threads, r.queriesPerSecond,
+                    r.meanBatchSeconds, r.stddevBatchSeconds,
+                    r.repeats, i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("]\n");
+
+    if (!csvPath.empty()) {
+        CsvWriter csv(csvPath);
+        csv.writeRow({"batch", "threads", "queries_per_second",
+                      "mean_batch_seconds", "stddev_batch_seconds",
+                      "repeats"});
+        for (const SweepRow &r : rows) {
+            csv.writeRow({std::to_string(r.batch),
+                          std::to_string(r.threads),
+                          std::to_string(r.queriesPerSecond),
+                          std::to_string(r.meanBatchSeconds),
+                          std::to_string(r.stddevBatchSeconds),
+                          std::to_string(r.repeats)});
+        }
+    }
+    return 0;
+}

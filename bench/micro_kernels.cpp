@@ -15,6 +15,7 @@
 #include "attention/candidate_search.hpp"
 #include "attention/quantized.hpp"
 #include "attention/reference.hpp"
+#include "engine/engine.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -121,5 +122,29 @@ BM_QuantizedPipeline(benchmark::State &state)
         benchmark::DoNotOptimize(qa.run(f.key, f.value, f.query));
 }
 BENCHMARK(BM_QuantizedPipeline)->Arg(320);
+
+void
+BM_EngineBatch(benchmark::State &state)
+{
+    // 64 queries against one preprocessed backend through the shared
+    // AttentionEngine; compare against 64x BM_ApproxAttentionEndToEnd
+    // for the batching + threading win.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fixture f = makeFixture(n, 64);
+    const ApproxAttention backend(f.key, f.value,
+                                  ApproxConfig::conservative());
+    Rng rng(7);
+    std::vector<Vector> batch(64, f.query);
+    for (auto &q : batch)
+        for (auto &x : q)
+            x += 0.05f * static_cast<float>(rng.normal());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            AttentionEngine::shared().run(backend, batch));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EngineBatch)->Arg(186)->Arg(320);
 
 }  // namespace

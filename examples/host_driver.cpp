@@ -61,11 +61,24 @@ main()
     }
 
     // The same task through the multi-hop software engine (MemN2N
-    // uses 3 hops on bAbI) for comparison.
+    // uses 3 hops on bAbI) for comparison — a batch of questions
+    // against the one preprocessed episode, hop chains dispatched in
+    // parallel by the shared AttentionEngine.
     const MultiHopAttention hops(task.key, task.value,
                                  ApproxConfig::conservative(), 3);
-    const MultiHopResult m = hops.run(task.queries[0]);
-    std::printf("\n3-hop software run: per-hop candidates");
+    std::vector<Vector> questions;
+    questions.push_back(task.queries[0]);
+    for (int copy = 0; copy < 3; ++copy) {
+        Vector q = task.queries[0];
+        for (auto &x : q)
+            x += 0.1f * static_cast<float>(rng.normal());
+        questions.push_back(std::move(q));
+    }
+    const std::vector<MultiHopResult> batch = hops.runBatch(questions);
+    const MultiHopResult &m = batch.front();
+    std::printf("\n3-hop software run (%zu questions batched): "
+                "per-hop candidates of question 0:",
+                batch.size());
     for (const AttentionResult &hop : m.hops)
         std::printf(" %zu", hop.candidates.size());
     std::printf(" of %zu rows\n", n);

@@ -11,9 +11,10 @@
  */
 
 #include <cstdio>
+#include <memory>
 
-#include "attention/approx_attention.hpp"
-#include "attention/reference.hpp"
+#include "attention/backend.hpp"
+#include "engine/engine.hpp"
 #include "workloads/babi_like.hpp"
 #include "workloads/metrics.hpp"
 
@@ -40,18 +41,39 @@ main()
                 "avg rows", "rows scored");
     for (const Config &cfg : configs) {
         Rng episodeRng(rng.split());
+
+        // Each episode is one request group: its own preprocessed
+        // backend (the per-story comprehension work) plus the question
+        // asked against it. The engine flattens all groups into one
+        // work list and answers them across its thread pool.
+        EngineConfig engineCfg;
+        engineCfg.kind = EngineKind::ApproxFloat;
+        engineCfg.approx = cfg.approx;
+        std::vector<AttentionTask> tasks;
+        std::vector<std::unique_ptr<AttentionBackend>> backends;
+        std::vector<AttentionRequestGroup> groups;
+        tasks.reserve(episodes);
+        backends.reserve(episodes);
+        groups.reserve(episodes);
+        for (int e = 0; e < episodes; ++e) {
+            tasks.push_back(workload.sample(episodeRng));
+            const AttentionTask &task = tasks.back();
+            backends.push_back(makeBackend(engineCfg, task.key,
+                                           task.value));
+            groups.push_back({backends.back().get(),
+                              {task.queries[0]}});
+        }
+        const auto results =
+            AttentionEngine::shared().runGroups(groups);
+
         double correct = 0.0;
         double rowsTotal = 0.0;
         double rowsScored = 0.0;
         for (int e = 0; e < episodes; ++e) {
-            const AttentionTask task = workload.sample(episodeRng);
-            const ApproxAttention engine(task.key, task.value,
-                                         cfg.approx);
-            const AttentionResult result =
-                engine.run(task.queries[0]);
+            const AttentionResult &result = results[e][0];
             correct +=
-                argmaxAccuracy(result.weights, task.relevant[0]);
-            rowsTotal += static_cast<double>(task.key.rows());
+                argmaxAccuracy(result.weights, tasks[e].relevant[0]);
+            rowsTotal += static_cast<double>(tasks[e].key.rows());
             rowsScored += static_cast<double>(result.candidates.size());
         }
         std::printf("%-30s %8.1f%% %12.1f %12.1f\n", cfg.label,

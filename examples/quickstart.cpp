@@ -15,6 +15,7 @@
 
 #include "attention/approx_attention.hpp"
 #include "attention/reference.hpp"
+#include "engine/engine.hpp"
 #include "util/random.hpp"
 
 int
@@ -67,5 +68,20 @@ main()
                 "(max |diff| %.4f)\n",
                 exact.output[0], approx.output[0],
                 maxAbsDiff(exact.output, approx.output));
+
+    // 4. Batched serving: the same preprocessed task answers a whole
+    //    batch of queries through the shared AttentionEngine, fanned
+    //    out over its thread pool with results in request order.
+    std::vector<Vector> batch(4, query);
+    for (std::size_t i = 1; i < batch.size(); ++i)
+        for (auto &x : batch[i])
+            x += 0.05f * static_cast<float>(rng.normal());
+    const std::vector<AttentionResult> answers =
+        AttentionEngine::shared().run(engine, batch);
+    std::printf("engine: answered a batch of %zu queries over %zu "
+                "thread(s);\n        batch[0] output matches the "
+                "single-query run bit for bit: %s\n",
+                answers.size(), AttentionEngine::shared().threads(),
+                answers[0].output == approx.output ? "yes" : "no");
     return 0;
 }

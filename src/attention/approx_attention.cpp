@@ -33,32 +33,40 @@ ApproxAttention::selectCandidates(const Vector &query) const
                                  config_.skipHeuristic);
 }
 
-AttentionResult
-ApproxAttention::run(const Vector &query) const
+ApproxAttention::CandidateStage
+ApproxAttention::candidateStage(const Vector &query) const
 {
-    a3Assert(query.size() == key_.cols(), "query dimension mismatch");
+    CandidateStage stage;
     const std::size_t n = key_.rows();
-
-    // Stage 1: candidate selection.
-    std::vector<std::uint32_t> candidates;
-    std::size_t iterations = 0;
     if (config_.candidateSelection) {
         CandidateSearchResult search = selectCandidates(query);
-        iterations = config_.iterationsFor(n);
-        candidates = std::move(search.candidates);
-        if (candidates.empty()) {
+        stage.iterations = config_.iterationsFor(n);
+        stage.rows = std::move(search.candidates);
+        if (stage.rows.empty()) {
             // Degenerate case (all products non-positive): keep the row
             // with the largest greedy score so the softmax stays
             // well-defined; the paper's skip heuristic makes this rare.
             const auto best = std::max_element(
                 search.greedyScore.begin(), search.greedyScore.end());
-            candidates.push_back(static_cast<std::uint32_t>(
+            stage.rows.push_back(static_cast<std::uint32_t>(
                 best - search.greedyScore.begin()));
         }
     } else {
-        candidates.resize(n);
-        std::iota(candidates.begin(), candidates.end(), 0u);
+        stage.rows.resize(n);
+        std::iota(stage.rows.begin(), stage.rows.end(), 0u);
     }
+    return stage;
+}
+
+AttentionResult
+ApproxAttention::run(const Vector &query) const
+{
+    a3Assert(query.size() == key_.cols(), "query dimension mismatch");
+
+    // Stage 1: candidate selection.
+    CandidateStage stage = candidateStage(query);
+    std::vector<std::uint32_t> candidates = std::move(stage.rows);
+    const std::size_t iterations = stage.iterations;
 
     // Stage 2: exact dot products for the candidates.
     Vector candidateScores(candidates.size());

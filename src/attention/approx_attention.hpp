@@ -12,6 +12,7 @@
 #ifndef A3_ATTENTION_APPROX_ATTENTION_HPP
 #define A3_ATTENTION_APPROX_ATTENTION_HPP
 
+#include "attention/backend.hpp"
 #include "attention/candidate_search.hpp"
 #include "attention/config.hpp"
 #include "attention/sorted_key.hpp"
@@ -26,7 +27,7 @@ namespace a3 {
  * the constructor models comprehension-time work; run() models the
  * query-response critical path.
  */
-class ApproxAttention
+class ApproxAttention final : public AttentionBackend
 {
   public:
     /**
@@ -39,17 +40,37 @@ class ApproxAttention
     ApproxAttention(Matrix key, Matrix value, ApproxConfig config);
 
     /** Answer one query. */
-    AttentionResult run(const Vector &query) const;
+    AttentionResult run(const Vector &query) const override;
 
     /** Candidate search only (exposed for Figure 11 sweeps). */
     CandidateSearchResult selectCandidates(const Vector &query) const;
 
+    /** Outcome of the candidate-selection stage for one query. */
+    struct CandidateStage
+    {
+        /** Surviving rows, ascending; all n rows if selection is off. */
+        std::vector<std::uint32_t> rows;
+
+        /** Greedy iterations executed (0 when selection is off). */
+        std::size_t iterations = 0;
+    };
+
+    /**
+     * Stage 1 only: greedy candidate selection per the configuration,
+     * including the degenerate-case fallback (all products
+     * non-positive keeps the best greedy row). Shared by the float
+     * flow here and the quantized ApproxQuantizedAttention flow so
+     * the two model the same selection hardware.
+     */
+    CandidateStage candidateStage(const Vector &query) const;
+
+    std::string name() const override { return "approx"; }
     const ApproxConfig &config() const { return config_; }
     const SortedKey &sortedKey() const { return sorted_; }
     const Matrix &key() const { return key_; }
     const Matrix &value() const { return value_; }
-    std::size_t rows() const { return key_.rows(); }
-    std::size_t dims() const { return key_.cols(); }
+    std::size_t rows() const override { return key_.rows(); }
+    std::size_t dims() const override { return key_.cols(); }
 
   private:
     Matrix key_;

@@ -1,0 +1,127 @@
+#include "attention/backend.hpp"
+
+#include <utility>
+
+#include "attention/approx_attention.hpp"
+#include "attention/post_scoring.hpp"
+#include "attention/quantized.hpp"
+#include "attention/reference.hpp"
+#include "util/logging.hpp"
+
+namespace a3 {
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::ExactFloat:
+        return "exact-float";
+      case EngineKind::ApproxFloat:
+        return "approx-float";
+      case EngineKind::ExactQuantized:
+        return "exact-quantized";
+      case EngineKind::ApproxQuantized:
+        return "approx-quantized";
+    }
+    panic("unknown engine kind");
+}
+
+ReferenceAttention::ReferenceAttention(Matrix key, Matrix value)
+    : key_(std::move(key)), value_(std::move(value))
+{
+    a3Assert(key_.rows() == value_.rows() &&
+                 key_.cols() == value_.cols(),
+             "key/value shape mismatch");
+    a3Assert(key_.rows() > 0 && key_.cols() > 0,
+             "attention task must be non-empty");
+}
+
+AttentionResult
+ReferenceAttention::run(const Vector &query) const
+{
+    return referenceAttention(key_, value_, query);
+}
+
+ApproxQuantizedAttention::ApproxQuantizedAttention(Matrix key,
+                                                   Matrix value,
+                                                   ApproxConfig approx,
+                                                   int intBits,
+                                                   int fracBits)
+    : approx_(std::make_unique<ApproxAttention>(
+          std::move(key), std::move(value), approx)),
+      datapath_(std::make_unique<QuantizedAttention>(
+          intBits, fracBits, approx_->rows(), approx_->dims()))
+{
+}
+
+ApproxQuantizedAttention::~ApproxQuantizedAttention() = default;
+
+std::size_t
+ApproxQuantizedAttention::rows() const
+{
+    return approx_->rows();
+}
+
+std::size_t
+ApproxQuantizedAttention::dims() const
+{
+    return approx_->dims();
+}
+
+AttentionResult
+ApproxQuantizedAttention::run(const Vector &query) const
+{
+    const ApproxConfig &config = approx_->config();
+    // Same selection hardware as the float flow.
+    ApproxAttention::CandidateStage stage =
+        approx_->candidateStage(query);
+    std::vector<std::uint32_t> candidates = std::move(stage.rows);
+
+    AttentionResult pass = datapath_->run(approx_->key(),
+                                          approx_->value(), query,
+                                          candidates);
+    AttentionResult result;
+    std::vector<std::uint32_t> kept;
+    if (config.postScoring) {
+        Vector scores(candidates.size());
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            scores[i] = pass.scores[candidates[i]];
+        kept = postScoringSelect(candidates, scores,
+                                 config.scoreGap());
+        result = datapath_->run(approx_->key(), approx_->value(),
+                                query, kept);
+    } else {
+        // Post-scoring off keeps every candidate; the first pipeline
+        // pass already is the final result.
+        kept = candidates;
+        result = std::move(pass);
+    }
+    result.candidates = std::move(candidates);
+    result.kept = std::move(kept);
+    result.iterations = stage.iterations;
+    return result;
+}
+
+std::unique_ptr<AttentionBackend>
+makeBackend(const EngineConfig &config, Matrix key, Matrix value)
+{
+    switch (config.kind) {
+      case EngineKind::ExactFloat:
+        return std::make_unique<ReferenceAttention>(std::move(key),
+                                                    std::move(value));
+      case EngineKind::ApproxFloat:
+        return std::make_unique<ApproxAttention>(
+            std::move(key), std::move(value), config.approx);
+      case EngineKind::ExactQuantized:
+        return std::make_unique<QuantizedAttention>(
+            std::move(key), std::move(value), config.intBits,
+            config.fracBits);
+      case EngineKind::ApproxQuantized:
+        return std::make_unique<ApproxQuantizedAttention>(
+            std::move(key), std::move(value), config.approx,
+            config.intBits, config.fracBits);
+    }
+    panic("unknown engine kind");
+}
+
+}  // namespace a3

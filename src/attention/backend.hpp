@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Polymorphic attention-backend interface.
+ *
+ * A backend owns one preprocessed key/value task and answers queries
+ * against it. Binding the task into the backend (rather than passing
+ * the matrices with every call) is what lets the AttentionEngine share
+ * the expensive per-task work — the column-sorted key of Section IV-A,
+ * the sized fixed-point datapath of Section III — across every query,
+ * head, and hop that touches the same pair, exactly the amortization
+ * the paper relies on for BERT self-attention and multi-hop MemN2N.
+ *
+ * Four backends implement the interface:
+ *  - ReferenceAttention: exact float attention (Figure 1).
+ *  - ApproxAttention: greedy selection + post-scoring in float
+ *    (Sections IV and V; declared in approx_attention.hpp).
+ *  - QuantizedAttention: the bit-accurate fixed-point pipeline bound
+ *    to a task (Section III; declared in quantized.hpp).
+ *  - ApproxQuantizedAttention: float selection feeding the quantized
+ *    datapath, the full approximate-A3 flow the simulator models.
+ *
+ * makeBackend() maps an EngineConfig (the harness' engine selector) to
+ * the matching backend so every consumer — harness, workloads, benches,
+ * examples — constructs engines one way.
+ */
+
+#ifndef A3_ATTENTION_BACKEND_HPP
+#define A3_ATTENTION_BACKEND_HPP
+
+#include <memory>
+#include <string>
+
+#include "attention/config.hpp"
+#include "attention/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+class ApproxAttention;
+class QuantizedAttention;
+
+/**
+ * One preprocessed key/value task that can answer queries. run() must
+ * be const and thread-compatible: the AttentionEngine calls it from
+ * many threads concurrently, and batched results are required to be
+ * bit-identical to sequential per-query calls.
+ */
+class AttentionBackend
+{
+  public:
+    virtual ~AttentionBackend() = default;
+
+    /** Stable identifier, e.g. "reference", "approx", "quantized". */
+    virtual std::string name() const = 0;
+
+    /** Answer one query against the bound task. */
+    virtual AttentionResult run(const Vector &query) const = 0;
+
+    /** Rows n of the bound task. */
+    virtual std::size_t rows() const = 0;
+
+    /** Embedding dimension d of the bound task. */
+    virtual std::size_t dims() const = 0;
+};
+
+/** Which functional engine answers the queries. */
+enum class EngineKind {
+    ExactFloat,       ///< reference float attention, no approximation
+    ApproxFloat,      ///< approximation in float (paper's SW model)
+    ExactQuantized,   ///< base A3 fixed-point pipeline
+    ApproxQuantized,  ///< full approximate A3 fixed-point flow
+};
+
+/** Stable name of an engine kind ("exact-float", ...). */
+const char *engineKindName(EngineKind kind);
+
+/** Engine selection plus its knobs. */
+struct EngineConfig
+{
+    EngineKind kind = EngineKind::ExactFloat;
+
+    /** Approximation knobs (Approx kinds only). */
+    ApproxConfig approx = ApproxConfig::conservative();
+
+    /** Input quantization (Quantized kinds only). */
+    int intBits = 4;
+    int fracBits = 4;
+};
+
+/**
+ * Exact floating-point backend: softmax(K q)^T V over all rows, the
+ * functional baseline every other backend is validated against.
+ */
+class ReferenceAttention final : public AttentionBackend
+{
+  public:
+    /** Bind a key/value task; no preprocessing is needed. */
+    ReferenceAttention(Matrix key, Matrix value);
+
+    std::string name() const override { return "reference"; }
+    AttentionResult run(const Vector &query) const override;
+    std::size_t rows() const override { return key_.rows(); }
+    std::size_t dims() const override { return key_.cols(); }
+
+    const Matrix &key() const { return key_; }
+    const Matrix &value() const { return value_; }
+
+  private:
+    Matrix key_;
+    Matrix value_;
+};
+
+/**
+ * The full approximate-A3 flow: float greedy candidate selection
+ * (pointer/comparator hardware), quantized dot products on the
+ * candidates, post-scoring on those fixed-point scores, and the
+ * quantized pipeline over the survivors — the same flow A3Accelerator
+ * models cycle by cycle.
+ */
+class ApproxQuantizedAttention final : public AttentionBackend
+{
+  public:
+    /**
+     * Preprocess `key` for greedy search and size the fixed-point
+     * datapath for the task.
+     */
+    ApproxQuantizedAttention(Matrix key, Matrix value,
+                             ApproxConfig approx, int intBits,
+                             int fracBits);
+    ~ApproxQuantizedAttention() override;
+
+    std::string name() const override { return "approx-quantized"; }
+    AttentionResult run(const Vector &query) const override;
+    std::size_t rows() const override;
+    std::size_t dims() const override;
+
+    const ApproxAttention &selection() const { return *approx_; }
+    const QuantizedAttention &datapath() const { return *datapath_; }
+
+  private:
+    std::unique_ptr<ApproxAttention> approx_;
+    std::unique_ptr<QuantizedAttention> datapath_;
+};
+
+/**
+ * Build the backend `config` describes, bound to (key, value). The
+ * quantized kinds size their datapath exactly for the task, as the
+ * accuracy harness always did.
+ */
+std::unique_ptr<AttentionBackend> makeBackend(const EngineConfig &config,
+                                              Matrix key, Matrix value);
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_BACKEND_HPP

@@ -1,5 +1,6 @@
 #include "attention/multi_hop.hpp"
 
+#include "engine/engine.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -28,6 +29,12 @@ MultiHopAttention::run(const Vector &query) const
     }
     result.finalQuery = std::move(u);
     return result;
+}
+
+std::vector<MultiHopResult>
+MultiHopAttention::runBatch(const std::vector<Vector> &queries) const
+{
+    return AttentionEngine::shared().runMultiHop(*this, queries);
 }
 
 }  // namespace a3

@@ -50,6 +50,15 @@ class MultiHopAttention
     /** Run all hops with the MemN2N update u^{k+1} = u^k + o^k. */
     MultiHopResult run(const Vector &query) const;
 
+    /**
+     * Answer many independent questions over the same preprocessed
+     * episode. Hops stay sequential within one chain; chains are
+     * dispatched across the shared AttentionEngine's thread pool.
+     * result[i] is bit-identical to run(queries[i]).
+     */
+    std::vector<MultiHopResult>
+    runBatch(const std::vector<Vector> &queries) const;
+
     std::size_t hopCount() const { return hopCount_; }
     const ApproxAttention &engine() const { return engine_; }
 

@@ -1,6 +1,7 @@
 #include "attention/quantized.hpp"
 
 #include <numeric>
+#include <utility>
 
 #include "fixed/value.hpp"
 #include "util/logging.hpp"
@@ -14,6 +15,33 @@ QuantizedAttention::QuantizedAttention(int intBits, int fracBits,
       lut_(2 * fracBits, 2 * fracBits),
       maxRows_(maxRows), dims_(dims)
 {
+}
+
+QuantizedAttention::QuantizedAttention(Matrix key, Matrix value,
+                                       int intBits, int fracBits)
+    : QuantizedAttention(intBits, fracBits, key.rows(), key.cols())
+{
+    a3Assert(key.rows() == value.rows() && key.cols() == value.cols(),
+             "key/value shape mismatch");
+    a3Assert(key.rows() > 0 && key.cols() > 0,
+             "attention task must be non-empty");
+    key_ = std::move(key);
+    value_ = std::move(value);
+    bound_ = true;
+}
+
+std::size_t
+QuantizedAttention::rows() const
+{
+    return bound_ ? key_.rows() : maxRows_;
+}
+
+AttentionResult
+QuantizedAttention::run(const Vector &query) const
+{
+    a3Assert(bound_, "one-argument run() needs a bound task; use the "
+                     "(key, value, intBits, fracBits) constructor");
+    return run(key_, value_, query);
 }
 
 AttentionResult

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "attention/backend.hpp"
 #include "attention/types.hpp"
 #include "fixed/exp_lut.hpp"
 #include "fixed/pipeline_formats.hpp"
@@ -25,16 +26,39 @@
 namespace a3 {
 
 /** Fixed-point functional model of the base A3 attention pipeline. */
-class QuantizedAttention
+class QuantizedAttention final : public AttentionBackend
 {
   public:
     /**
      * Size the pipeline for tasks up to maxRows x dims with inputs
      * quantized to `intBits`.`fracBits` (paper default: i = f = 4,
-     * n = 320, d = 64).
+     * n = 320, d = 64). The datapath is unbound: every run() call
+     * supplies its own key/value matrices.
      */
     QuantizedAttention(int intBits, int fracBits, std::size_t maxRows,
                        std::size_t dims);
+
+    /**
+     * Bind a key/value task into the datapath (the AttentionBackend
+     * deployment): the pipeline is sized exactly for the task and the
+     * one-argument run() answers queries against it.
+     */
+    QuantizedAttention(Matrix key, Matrix value, int intBits,
+                       int fracBits);
+
+    /** Answer one query against the bound task (bound mode only). */
+    AttentionResult run(const Vector &query) const override;
+
+    std::string name() const override { return "quantized"; }
+
+    /** Bound task rows, or the sized capacity when unbound. */
+    std::size_t rows() const override;
+
+    /** Embedding dimension the pipeline is sized for. */
+    std::size_t dims() const override { return dims_; }
+
+    /** True when a key/value task is bound into the datapath. */
+    bool bound() const { return bound_; }
 
     /**
      * Run the full pipeline over all rows of the task.
@@ -62,6 +86,9 @@ class QuantizedAttention
     ExpLut lut_;
     std::size_t maxRows_;
     std::size_t dims_;
+    Matrix key_;
+    Matrix value_;
+    bool bound_ = false;
 };
 
 }  // namespace a3

@@ -1,5 +1,6 @@
 #include "attention/self_attention.hpp"
 
+#include "engine/engine.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -8,30 +9,11 @@ SelfAttentionResult
 selfAttention(const Matrix &key, const Matrix &value,
               const Matrix &queries, const ApproxConfig &config)
 {
-    a3Assert(queries.cols() == key.cols(),
-             "query width must match the key dimension");
-    const ApproxAttention engine(key, value, config);
-
-    SelfAttentionResult result;
-    const std::size_t tokens = queries.rows();
-    result.outputs = Matrix(tokens, key.cols());
-    result.perToken.reserve(tokens);
-    double candSum = 0.0;
-    double keptSum = 0.0;
-    for (std::size_t t = 0; t < tokens; ++t) {
-        Vector q(queries.row(t).begin(), queries.row(t).end());
-        AttentionResult r = engine.run(q);
-        for (std::size_t j = 0; j < key.cols(); ++j)
-            result.outputs(t, j) = r.output[j];
-        candSum += static_cast<double>(r.candidates.size());
-        keptSum += static_cast<double>(r.kept.size());
-        result.perToken.push_back(std::move(r));
-    }
-    if (tokens > 0) {
-        result.avgCandidates = candSum / static_cast<double>(tokens);
-        result.avgKept = keptSum / static_cast<double>(tokens);
-    }
-    return result;
+    // Route through the shared engine: preprocessing happens once and
+    // the token queries are answered in parallel, with results in
+    // token order and bit-identical to a sequential loop.
+    return AttentionEngine::shared().selfAttention(key, value, queries,
+                                                   config);
 }
 
 Matrix

@@ -1,0 +1,109 @@
+#include "engine/engine.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+AttentionEngine::AttentionEngine(std::size_t threads) : pool_(threads)
+{
+}
+
+AttentionEngine &
+AttentionEngine::shared()
+{
+    static AttentionEngine engine;
+    return engine;
+}
+
+std::vector<AttentionResult>
+AttentionEngine::run(const AttentionBackend &backend,
+                     const std::vector<Vector> &queries) const
+{
+    std::vector<AttentionResult> results(queries.size());
+    pool_.parallelFor(queries.size(), [&](std::size_t i) {
+        results[i] = backend.run(queries[i]);
+    });
+    return results;
+}
+
+std::vector<std::vector<AttentionResult>>
+AttentionEngine::runGroups(
+    const std::vector<AttentionRequestGroup> &groups) const
+{
+    // Flatten all (group, query) pairs into one work list so the lanes
+    // stay busy across group boundaries.
+    struct WorkItem
+    {
+        std::size_t group;
+        std::size_t query;
+    };
+    std::vector<WorkItem> work;
+    std::vector<std::vector<AttentionResult>> results(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        a3Assert(groups[g].backend != nullptr,
+                 "request group ", g, " has no backend");
+        results[g].resize(groups[g].queries.size());
+        for (std::size_t q = 0; q < groups[g].queries.size(); ++q)
+            work.push_back({g, q});
+    }
+    pool_.parallelFor(work.size(), [&](std::size_t i) {
+        const WorkItem &item = work[i];
+        const AttentionRequestGroup &group = groups[item.group];
+        results[item.group][item.query] =
+            group.backend->run(group.queries[item.query]);
+    });
+    return results;
+}
+
+SelfAttentionResult
+AttentionEngine::selfAttention(const Matrix &key, const Matrix &value,
+                               const Matrix &queries,
+                               const ApproxConfig &config) const
+{
+    a3Assert(queries.cols() == key.cols(),
+             "query width must match the key dimension");
+    // One preprocessing pass (the column sort of Section IV-A) shared
+    // by every token query.
+    const ApproxAttention backend(key, value, config);
+
+    const std::size_t tokens = queries.rows();
+    std::vector<Vector> perToken(tokens);
+    for (std::size_t t = 0; t < tokens; ++t)
+        perToken[t].assign(queries.row(t).begin(),
+                           queries.row(t).end());
+    std::vector<AttentionResult> batched = run(backend, perToken);
+
+    SelfAttentionResult result;
+    result.outputs = Matrix(tokens, key.cols());
+    result.perToken.reserve(tokens);
+    double candSum = 0.0;
+    double keptSum = 0.0;
+    for (std::size_t t = 0; t < tokens; ++t) {
+        AttentionResult &r = batched[t];
+        for (std::size_t j = 0; j < key.cols(); ++j)
+            result.outputs(t, j) = r.output[j];
+        candSum += static_cast<double>(r.candidates.size());
+        keptSum += static_cast<double>(r.kept.size());
+        result.perToken.push_back(std::move(r));
+    }
+    if (tokens > 0) {
+        result.avgCandidates = candSum / static_cast<double>(tokens);
+        result.avgKept = keptSum / static_cast<double>(tokens);
+    }
+    return result;
+}
+
+std::vector<MultiHopResult>
+AttentionEngine::runMultiHop(const MultiHopAttention &attention,
+                             const std::vector<Vector> &queries) const
+{
+    std::vector<MultiHopResult> results(queries.size());
+    pool_.parallelFor(queries.size(), [&](std::size_t i) {
+        results[i] = attention.run(queries[i]);
+    });
+    return results;
+}
+
+}  // namespace a3

@@ -1,0 +1,128 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace a3 {
+
+namespace {
+
+/** Pool whose job body the current thread is executing, if any. */
+thread_local const ThreadPool *currentPool = nullptr;
+
+/** RAII marker for "this thread is inside a job of `pool`". */
+struct JobScope
+{
+    explicit JobScope(const ThreadPool *pool) : previous(currentPool)
+    {
+        currentPool = pool;
+    }
+    ~JobScope() { currentPool = previous; }
+    const ThreadPool *previous;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    std::size_t lanes = threads;
+    if (lanes == 0) {
+        lanes = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(lanes - 1);
+    for (std::size_t i = 0; i + 1 < lanes; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::drain(const std::function<void(std::size_t)> &body) const
+{
+    const JobScope scope(this);
+    for (;;) {
+        const std::size_t index =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (index >= count_)
+            return;
+        body(index);
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t)> &body) const
+{
+    if (count == 0)
+        return;
+    // Run inline when there is nothing to fan out to, when the batch
+    // is a single item, or when this thread is already inside one of
+    // this pool's job bodies (a nested dispatch would deadlock on the
+    // caller lock while the outer job waits for this lane).
+    if (workers_.empty() || count == 1 || currentPool == this) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> callerLock(callerMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        body_ = &body;
+        count_ = count;
+        next_.store(0, std::memory_order_relaxed);
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller is one of the lanes.
+    drain(body);
+
+    // Wait for workers still inside the job; workers that never woke
+    // have not incremented active_ and will see a null job slot.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] {
+        return active_ == 0 &&
+               next_.load(std::memory_order_relaxed) >= count_;
+    });
+    body_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *body = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this, seenGeneration] {
+                return stop_ || (body_ != nullptr &&
+                                 generation_ != seenGeneration);
+            });
+            if (stop_)
+                return;
+            seenGeneration = generation_;
+            body = body_;
+            ++active_;
+        }
+        drain(*body);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+        }
+        done_.notify_one();
+    }
+}
+
+}  // namespace a3

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reusable worker pool for data-parallel attention batches.
+ *
+ * The pool models the paper's core parallelism claim in software: A3
+ * exploits independence across queries and heads, so the engine fans a
+ * batch out as an index-parallel loop. Work is handed out through one
+ * shared atomic cursor (dynamic load balancing — approximate queries
+ * have data-dependent cost), and every index writes only its own
+ * output slot, which is what makes batched results deterministic and
+ * bit-identical to a sequential run regardless of thread count.
+ */
+
+#ifndef A3_ENGINE_THREAD_POOL_HPP
+#define A3_ENGINE_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace a3 {
+
+/**
+ * Fixed-size pool of persistent workers driving parallelFor() loops.
+ * The calling thread always participates as one lane, so a pool built
+ * with `threads == 1` runs everything inline with zero overhead and a
+ * pool with N lanes uses N-1 background threads.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total parallel lanes including the caller;
+     *        0 means std::thread::hardware_concurrency().
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Joins all workers; outstanding parallelFor() calls finish first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total lanes (background workers + the calling thread). */
+    std::size_t threadCount() const { return workers_.size() + 1; }
+
+    /**
+     * Run body(0) .. body(count - 1), distributing indices over the
+     * lanes, and return when all have finished. body must not throw
+     * (the library reports errors via fatal()/panic()) and must write
+     * only per-index state. Concurrent parallelFor() calls from
+     * different threads are serialized; a nested call from inside one
+     * of this pool's own job bodies runs inline on the calling lane
+     * instead of deadlocking on the serialization lock.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body) const;
+
+  private:
+    void workerLoop();
+
+    /** Claim indices from the shared cursor until the job is drained. */
+    void drain(const std::function<void(std::size_t)> &body) const;
+
+    /** Serializes whole parallelFor() calls. */
+    mutable std::mutex callerMutex_;
+
+    /** Guards the job slot below. */
+    mutable std::mutex mutex_;
+    mutable std::condition_variable wake_;
+    mutable std::condition_variable done_;
+    mutable const std::function<void(std::size_t)> *body_ = nullptr;
+    mutable std::size_t count_ = 0;
+    mutable std::atomic<std::size_t> next_{0};
+    mutable std::size_t active_ = 0;
+    mutable std::uint64_t generation_ = 0;
+    bool stop_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace a3
+
+#endif  // A3_ENGINE_THREAD_POOL_HPP

@@ -1,53 +1,13 @@
 #include "harness/accuracy.hpp"
 
-#include <algorithm>
-#include <optional>
+#include <memory>
 
-#include "attention/approx_attention.hpp"
-#include "attention/post_scoring.hpp"
-#include "attention/quantized.hpp"
-#include "attention/reference.hpp"
+#include "attention/backend.hpp"
+#include "engine/engine.hpp"
 #include "util/logging.hpp"
 #include "workloads/metrics.hpp"
 
 namespace a3 {
-
-namespace {
-
-/**
- * Answer one query with the approximate fixed-point flow: float greedy
- * selection (pointer/comparator hardware), quantized dot products on
- * the candidates, post-scoring on those fixed-point scores, quantized
- * pipeline over the survivors — the same flow A3Accelerator models.
- */
-AttentionResult
-runApproxQuantized(const ApproxAttention &task,
-                   const QuantizedAttention &datapath,
-                   const Vector &query)
-{
-    CandidateSearchResult search = task.selectCandidates(query);
-    std::vector<std::uint32_t> candidates = std::move(search.candidates);
-    if (candidates.empty()) {
-        const auto best = std::max_element(search.greedyScore.begin(),
-                                           search.greedyScore.end());
-        candidates.push_back(static_cast<std::uint32_t>(
-            best - search.greedyScore.begin()));
-    }
-    AttentionResult pass =
-        datapath.run(task.key(), task.value(), query, candidates);
-    Vector scores(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i)
-        scores[i] = pass.scores[candidates[i]];
-    std::vector<std::uint32_t> kept = postScoringSelect(
-        candidates, scores, task.config().scoreGap());
-    AttentionResult result =
-        datapath.run(task.key(), task.value(), query, kept);
-    result.candidates = std::move(candidates);
-    result.kept = std::move(kept);
-    return result;
-}
-
-}  // namespace
 
 AccuracyReport
 evaluateAccuracy(const Workload &workload, const EngineConfig &engine,
@@ -55,6 +15,7 @@ evaluateAccuracy(const Workload &workload, const EngineConfig &engine,
 {
     a3Assert(episodes > 0, "accuracy evaluation needs episodes");
     Rng rng(seed);
+    const AttentionEngine &executor = AttentionEngine::shared();
 
     AccuracyReport report;
     report.episodes = episodes;
@@ -68,54 +29,44 @@ evaluateAccuracy(const Workload &workload, const EngineConfig &engine,
         const AttentionTask task = workload.sample(rng);
         const std::size_t n = task.key.rows();
 
-        // Engines with per-task state.
-        std::optional<ApproxAttention> approxTask;
-        std::optional<QuantizedAttention> datapath;
-        const bool isApprox = engine.kind == EngineKind::ApproxFloat ||
-                              engine.kind == EngineKind::ApproxQuantized;
-        const bool isQuantized =
-            engine.kind == EngineKind::ExactQuantized ||
-            engine.kind == EngineKind::ApproxQuantized;
-        if (isApprox)
-            approxTask.emplace(task.key, task.value, engine.approx);
-        if (isQuantized) {
-            datapath.emplace(engine.intBits, engine.fracBits, n,
-                             task.key.cols());
+        const std::vector<std::size_t> scored =
+            workload.scoredQueries(task);
+        if (scored.empty())
+            continue;  // only timing-only queries sampled
+        std::vector<Vector> queries;
+        queries.reserve(scored.size());
+        for (std::size_t qi : scored)
+            queries.push_back(task.queries[qi]);
+
+        // One preprocessed backend per episode (sorted key / sized
+        // datapath shared by every query), then the whole scored batch
+        // through the engine at once.
+        const std::unique_ptr<AttentionBackend> backend =
+            makeBackend(engine, task.key, task.value);
+        const std::vector<AttentionResult> results =
+            executor.run(*backend, queries);
+
+        // Exact float scores for the Figure 13b top-k recall, batched
+        // the same way; the exact-float engine's own results already
+        // are the reference, so skip the second pass there.
+        const bool needExact = engine.kind != EngineKind::ExactFloat;
+        std::vector<AttentionResult> exactResults;
+        if (needExact) {
+            const ReferenceAttention exact(task.key, task.value);
+            exactResults = executor.run(exact, queries);
         }
 
-        for (std::size_t qi = 0; qi < task.queries.size(); ++qi) {
-            if (task.relevant[qi].empty())
-                continue;  // timing-only query (SQuAD passage tokens)
-            const Vector &query = task.queries[qi];
-
-            AttentionResult result;
-            switch (engine.kind) {
-              case EngineKind::ExactFloat:
-                result = referenceAttention(task.key, task.value, query);
-                break;
-              case EngineKind::ApproxFloat:
-                result = approxTask->run(query);
-                break;
-              case EngineKind::ExactQuantized:
-                result = datapath->run(task.key, task.value, query);
-                break;
-              case EngineKind::ApproxQuantized:
-                result = runApproxQuantized(*approxTask, *datapath,
-                                            query);
-                break;
-            }
-
-            metricSum += workload.score(task, qi, result);
+        metricSum += workload.scoreBatch(task, scored, results);
+        for (std::size_t i = 0; i < scored.size(); ++i) {
+            const AttentionResult &result = results[i];
             candFracSum += static_cast<double>(
                                result.candidates.size()) /
                            static_cast<double>(n);
             keptFracSum += static_cast<double>(result.kept.size()) /
                            static_cast<double>(n);
-
-            // Top-k recall against the exact float scores.
-            const AttentionResult exact =
-                referenceAttention(task.key, task.value, query);
-            recallSum += topKRecall(exact.scores, result.kept,
+            const Vector &exactScores =
+                needExact ? exactResults[i].scores : result.scores;
+            recallSum += topKRecall(exactScores, result.kept,
                                     workload.recallTopK());
             ++report.scoredQueries;
         }

@@ -16,31 +16,15 @@
 
 #include <cstdint>
 
+#include "attention/backend.hpp"
 #include "attention/config.hpp"
 #include "workloads/workload.hpp"
 
 namespace a3 {
 
-/** Which functional engine answers the queries. */
-enum class EngineKind {
-    ExactFloat,       ///< reference float attention, no approximation
-    ApproxFloat,      ///< approximation in float (paper's SW model)
-    ExactQuantized,   ///< base A3 fixed-point pipeline
-    ApproxQuantized,  ///< full approximate A3 fixed-point flow
-};
-
-/** Engine selection plus its knobs. */
-struct EngineConfig
-{
-    EngineKind kind = EngineKind::ExactFloat;
-
-    /** Approximation knobs (Approx kinds only). */
-    ApproxConfig approx = ApproxConfig::conservative();
-
-    /** Input quantization (Quantized kinds only). */
-    int intBits = 4;
-    int fracBits = 4;
-};
+// EngineKind / EngineConfig (the engine selector this harness takes)
+// now live with the backend interface in attention/backend.hpp; they
+// are re-exported here so harness users keep compiling unchanged.
 
 /** Aggregated accuracy results over many episodes. */
 struct AccuracyReport

@@ -1,6 +1,7 @@
 #include "harness/performance.hpp"
 
 #include "baseline/device_models.hpp"
+#include "engine/engine.hpp"
 #include "sim/accelerator.hpp"
 #include "util/logging.hpp"
 
@@ -35,6 +36,16 @@ episodeQueries(const Workload &workload, const AttentionTask &task,
     return queries;
 }
 
+/** One simulated episode's inputs and outputs. */
+struct EpisodeRun
+{
+    AttentionTask task;
+    std::vector<Vector> queries;
+    RunStats stats;
+    EnergyBreakdown energy;
+    double clockHz = 0.0;
+};
+
 /** Simulate one A3 configuration over the sampled episodes. */
 PerfResult
 simulateA3(const Workload &workload, const PerfOptions &options,
@@ -49,23 +60,36 @@ simulateA3(const Workload &workload, const PerfOptions &options,
     std::uint64_t totalQueries = 0;
     EnergyBreakdown breakdownSum;
 
-    for (std::size_t e = 0; e < options.episodes; ++e) {
-        const AttentionTask task = workload.sample(rng);
+    // Sampling consumes the RNG stream sequentially; the independent
+    // cycle-level simulations then fan out over the shared engine's
+    // thread pool, and accumulation below folds the per-episode
+    // results back in episode order so the report is deterministic
+    // for any thread count.
+    std::vector<EpisodeRun> runs(options.episodes);
+    for (EpisodeRun &run : runs) {
+        run.task = workload.sample(rng);
+        run.queries = episodeQueries(workload, run.task, options, rng);
+    }
+    AttentionEngine::shared().pool().parallelFor(
+        runs.size(), [&](std::size_t e) {
+            EpisodeRun &run = runs[e];
+            SimConfig config;
+            config.maxRows = 320;
+            config.dims = run.task.key.cols();
+            config.mode = mode;
+            config.approx = approx;
 
-        SimConfig config;
-        config.maxRows = 320;
-        config.dims = task.key.cols();
-        config.mode = mode;
-        config.approx = approx;
+            A3Accelerator acc(config);
+            acc.loadTask(run.task.key, run.task.value);
+            run.stats = acc.runAll(run.queries);
+            run.energy = PowerModel::computeEnergy(acc);
+            run.clockHz = config.clockGhz * 1e9;
+        });
 
-        A3Accelerator acc(config);
-        acc.loadTask(task.key, task.value);
-        const std::vector<Vector> queries =
-            episodeQueries(workload, task, options, rng);
-        const RunStats stats = acc.runAll(queries);
-        const EnergyBreakdown energy = PowerModel::computeEnergy(acc);
-
-        const double clockHz = config.clockGhz * 1e9;
+    for (const EpisodeRun &run : runs) {
+        const RunStats &stats = run.stats;
+        const EnergyBreakdown &energy = run.energy;
+        const double clockHz = run.clockHz;
         periodSum += stats.cyclesPerQuery / clockHz *
                      static_cast<double>(stats.queries);
         latencySum += stats.avgLatency / clockHz *

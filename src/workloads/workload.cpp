@@ -1,10 +1,36 @@
 #include "workloads/workload.hpp"
 
+#include "util/logging.hpp"
 #include "workloads/babi_like.hpp"
 #include "workloads/squad_like.hpp"
 #include "workloads/wikimovies_like.hpp"
 
 namespace a3 {
+
+std::vector<std::size_t>
+Workload::scoredQueries(const AttentionTask &task) const
+{
+    std::vector<std::size_t> indices;
+    indices.reserve(task.queries.size());
+    for (std::size_t qi = 0; qi < task.queries.size(); ++qi) {
+        if (!task.relevant[qi].empty())
+            indices.push_back(qi);
+    }
+    return indices;
+}
+
+double
+Workload::scoreBatch(const AttentionTask &task,
+                     const std::vector<std::size_t> &queryIndices,
+                     const std::vector<AttentionResult> &results) const
+{
+    a3Assert(queryIndices.size() == results.size(),
+             "scoreBatch needs one result per scored query");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < queryIndices.size(); ++i)
+        sum += score(task, queryIndices[i], results[i]);
+    return sum;
+}
 
 std::vector<std::unique_ptr<Workload>>
 makeAllWorkloads()

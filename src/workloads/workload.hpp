@@ -93,6 +93,24 @@ class Workload
 
     /** Figure 3 time-share profile. */
     virtual TimeShareProfile timeShare() const = 0;
+
+    /**
+     * Indices of the queries that carry ground truth (non-empty
+     * `relevant`) — the batch the harness actually scores; the rest
+     * run for timing only.
+     */
+    std::vector<std::size_t> scoredQueries(const AttentionTask &task)
+        const;
+
+    /**
+     * Sum of score() over `queryIndices`, folding results in index
+     * order so accumulations stay deterministic under any engine
+     * thread count. results[i] answers task.queries[queryIndices[i]].
+     */
+    double scoreBatch(const AttentionTask &task,
+                      const std::vector<std::size_t> &queryIndices,
+                      const std::vector<AttentionResult> &results)
+        const;
 };
 
 /** The three paper workloads, in presentation order. */
