@@ -1,15 +1,19 @@
 /**
  * @file
  * AttentionEngine throughput sweep: queries/sec for batch sizes
- * {1, 16, 128} x thread counts {1, hardware_concurrency}, against one
- * preprocessed 320 x 64 conservative-approximation task (the BERT
- * shape of Section VI-A).
+ * {1, 16, 128} x thread counts {1, hardware_concurrency} x kernel
+ * variants {scalar, widest SIMD} x backends {reference, approx},
+ * against one preprocessed 320 x 64 task (the BERT shape of Section
+ * VI-A). The kernel-variant column turns the SIMD layer's speedup
+ * into a reported number: compare rows that differ only in "kernels",
+ * or read the precomputed speedup_vs_scalar field.
  *
  * Emits a JSON array on stdout (one object per configuration, timing
  * aggregated with util/stats' RunningStat); pass a path argument to
  * also dump the same rows as CSV via util/csv.
  *
- * Usage: engine_throughput [out.csv] [--repeats R]
+ * Usage: engine_throughput [out.csv] [--repeats R] [--batch N]
+ *   --batch N restricts the sweep to one batch size (CI smoke runs).
  */
 
 #include <chrono>
@@ -20,8 +24,10 @@
 #include <vector>
 
 #include "attention/approx_attention.hpp"
+#include "attention/backend.hpp"
 #include "bench_common.hpp"
 #include "engine/engine.hpp"
+#include "kernels/kernels.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
@@ -33,12 +39,16 @@ using namespace a3;
 
 struct SweepRow
 {
+    std::string backend;
+    std::string kernels;
     std::size_t batch = 0;
     std::size_t threads = 0;
     double queriesPerSecond = 0.0;
     double meanBatchSeconds = 0.0;
     double stddevBatchSeconds = 0.0;
     std::size_t repeats = 0;
+    /** SIMD-vs-scalar throughput ratio; 1.0 on the scalar rows. */
+    double speedupVsScalar = 1.0;
 };
 
 double
@@ -51,10 +61,11 @@ now()
 }
 
 SweepRow
-measure(const AttentionEngine &engine, const ApproxAttention &backend,
+measure(const AttentionEngine &engine, const AttentionBackend &backend,
         const std::vector<Vector> &queries, std::size_t repeats)
 {
-    // Warm-up pass: pulls the task into cache and spins the pool up.
+    // Warm-up pass: pulls the task into cache, spins the pool up, and
+    // grows every lane's Scratch arena to task size.
     engine.run(backend, queries);
 
     RunningStat batchSeconds;
@@ -68,6 +79,8 @@ measure(const AttentionEngine &engine, const ApproxAttention &backend,
     }
 
     SweepRow row;
+    row.backend = backend.name();
+    row.kernels = kernelIsaName(activeKernels().isa);
     row.batch = queries.size();
     row.threads = engine.threads();
     row.meanBatchSeconds = batchSeconds.mean();
@@ -86,6 +99,7 @@ main(int argc, char **argv)
 {
     std::string csvPath;
     std::size_t repeats = 40;
+    std::size_t onlyBatch = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--repeats") == 0) {
             if (i + 1 >= argc)
@@ -95,6 +109,14 @@ main(int argc, char **argv)
                 fatal("--repeats must be a positive integer, got \"",
                       argv[i], "\"");
             repeats = static_cast<std::size_t>(parsed);
+        } else if (std::strcmp(argv[i], "--batch") == 0) {
+            if (i + 1 >= argc)
+                fatal("--batch needs a value");
+            const long parsed = std::atol(argv[++i]);
+            if (parsed <= 0 || parsed > 128)
+                fatal("--batch must lie in [1, 128], got \"", argv[i],
+                      "\"");
+            onlyBatch = static_cast<std::size_t>(parsed);
         } else {
             csvPath = argv[i];
         }
@@ -112,8 +134,13 @@ main(int argc, char **argv)
             value(r, c) = static_cast<float>(rng.normal());
         }
     }
-    const ApproxAttention backend(key, value,
-                                  ApproxConfig::conservative());
+    // reference = the pure float scoring path (dot + softmax +
+    // weighted sum, no selection); approx = the paper's software flow.
+    const ReferenceAttention reference(key, value);
+    const ApproxAttention approx(key, value,
+                                 ApproxConfig::conservative());
+    const std::vector<const AttentionBackend *> backends{&reference,
+                                                         &approx};
 
     std::vector<Vector> pool(128);
     for (auto &q : pool) {
@@ -128,46 +155,85 @@ main(int argc, char **argv)
     if (hw > 1)
         threadCounts.push_back(hw);
 
+    std::vector<std::size_t> batches{1, 16, 128};
+    if (onlyBatch != 0)
+        batches = {onlyBatch};
+
+    // Scalar first, then the widest SIMD table the host supports (the
+    // variants coincide when there is none — or when
+    // A3_FORCE_SCALAR_KERNELS is set — and the sweep has one column).
+    std::vector<const Kernels *> variants{&scalarKernels()};
+    const Kernels &best = selectKernels();
+    if (best.isa != KernelIsa::Scalar)
+        variants.push_back(&best);
+
     std::vector<SweepRow> rows;
-    for (std::size_t threads : threadCounts) {
-        const AttentionEngine engine(threads);
-        for (std::size_t batch : {std::size_t{1}, std::size_t{16},
-                                  std::size_t{128}}) {
-            const std::vector<Vector> queries(pool.begin(),
-                                              pool.begin() +
-                                                  static_cast<long>(
-                                                      batch));
-            rows.push_back(
-                measure(engine, backend, queries, repeats));
+    for (const Kernels *variant : variants) {
+        setActiveKernels(*variant);
+        for (const AttentionBackend *backend : backends) {
+            for (std::size_t threads : threadCounts) {
+                const AttentionEngine engine(threads);
+                for (std::size_t batch : batches) {
+                    const std::vector<Vector> queries(
+                        pool.begin(),
+                        pool.begin() + static_cast<long>(batch));
+                    rows.push_back(measure(engine, *backend, queries,
+                                           repeats));
+                }
+            }
+        }
+    }
+    setActiveKernels(selectKernels());
+
+    // Fill in speedup_vs_scalar on the SIMD rows from the matching
+    // scalar row (same backend/threads/batch).
+    for (SweepRow &row : rows) {
+        if (row.kernels == "scalar")
+            continue;
+        for (const SweepRow &base : rows) {
+            if (base.kernels == "scalar" &&
+                base.backend == row.backend &&
+                base.threads == row.threads &&
+                base.batch == row.batch &&
+                base.queriesPerSecond > 0.0) {
+                row.speedupVsScalar =
+                    row.queriesPerSecond / base.queriesPerSecond;
+                break;
+            }
         }
     }
 
     std::printf("[\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const SweepRow &r = rows[i];
-        std::printf("  {\"batch\": %zu, \"threads\": %zu, "
+        std::printf("  {\"backend\": \"%s\", \"kernels\": \"%s\", "
+                    "\"batch\": %zu, \"threads\": %zu, "
                     "\"queries_per_second\": %.1f, "
                     "\"mean_batch_seconds\": %.3e, "
                     "\"stddev_batch_seconds\": %.3e, "
-                    "\"repeats\": %zu}%s\n",
-                    r.batch, r.threads, r.queriesPerSecond,
-                    r.meanBatchSeconds, r.stddevBatchSeconds,
-                    r.repeats, i + 1 < rows.size() ? "," : "");
+                    "\"repeats\": %zu, "
+                    "\"speedup_vs_scalar\": %.2f}%s\n",
+                    r.backend.c_str(), r.kernels.c_str(), r.batch,
+                    r.threads, r.queriesPerSecond, r.meanBatchSeconds,
+                    r.stddevBatchSeconds, r.repeats, r.speedupVsScalar,
+                    i + 1 < rows.size() ? "," : "");
     }
     std::printf("]\n");
 
     if (!csvPath.empty()) {
         CsvWriter csv(csvPath);
-        csv.writeRow({"batch", "threads", "queries_per_second",
-                      "mean_batch_seconds", "stddev_batch_seconds",
-                      "repeats"});
+        csv.writeRow({"backend", "kernels", "batch", "threads",
+                      "queries_per_second", "mean_batch_seconds",
+                      "stddev_batch_seconds", "repeats",
+                      "speedup_vs_scalar"});
         for (const SweepRow &r : rows) {
-            csv.writeRow({std::to_string(r.batch),
+            csv.writeRow({r.backend, r.kernels, std::to_string(r.batch),
                           std::to_string(r.threads),
                           std::to_string(r.queriesPerSecond),
                           std::to_string(r.meanBatchSeconds),
                           std::to_string(r.stddevBatchSeconds),
-                          std::to_string(r.repeats)});
+                          std::to_string(r.repeats),
+                          std::to_string(r.speedupVsScalar)});
         }
     }
     return 0;

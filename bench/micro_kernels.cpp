@@ -16,6 +16,7 @@
 #include "attention/quantized.hpp"
 #include "attention/reference.hpp"
 #include "engine/engine.hpp"
+#include "kernels/kernels.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -146,5 +147,89 @@ BM_EngineBatch(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_EngineBatch)->Arg(186)->Arg(320);
+
+// ------------------------------------------------------------ kernels
+// Per-primitive scalar-vs-SIMD comparison for the kernels layer; the
+// 0/1 argument selects the table (0 = scalar, 1 = the widest table
+// selectKernels() would pick), so pairs of lines give the per-kernel
+// speedup directly.
+
+const Kernels &
+tableFor(std::int64_t variant)
+{
+    return variant == 0 ? scalarKernels() : selectKernels();
+}
+
+void
+BM_KernelDot(benchmark::State &state)
+{
+    const Kernels &k = tableFor(state.range(0));
+    const Fixture f = makeFixture(2, 512);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            k.dot(f.key.data().data(), f.value.data().data(), 512));
+    }
+    state.SetLabel(kernelIsaName(k.isa));
+}
+BENCHMARK(BM_KernelDot)->Arg(0)->Arg(1);
+
+void
+BM_KernelGatherDot(benchmark::State &state)
+{
+    // The approx scoring shape: 160 candidate rows out of 320, d = 64.
+    const Kernels &k = tableFor(state.range(0));
+    const Fixture f = makeFixture(320, 64);
+    std::vector<std::uint32_t> rows(160);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i] = static_cast<std::uint32_t>(2 * i);
+    Vector out(rows.size());
+    for (auto _ : state) {
+        k.gatherDot(f.key.data().data(), 64, rows.data(), rows.size(),
+                    f.query.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetLabel(kernelIsaName(k.isa));
+}
+BENCHMARK(BM_KernelGatherDot)->Arg(0)->Arg(1);
+
+void
+BM_KernelGatherWeightedSum(benchmark::State &state)
+{
+    const Kernels &k = tableFor(state.range(0));
+    const Fixture f = makeFixture(320, 64);
+    std::vector<std::uint32_t> rows(160);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i] = static_cast<std::uint32_t>(2 * i);
+    Vector weights(rows.size(), 1.0f / 160.0f);
+    Vector out(64);
+    for (auto _ : state) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        k.gatherWeightedSum(f.value.data().data(), 64, rows.data(),
+                            rows.size(), weights.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetLabel(kernelIsaName(k.isa));
+}
+BENCHMARK(BM_KernelGatherWeightedSum)->Arg(0)->Arg(1);
+
+void
+BM_KernelSoftmaxPath(benchmark::State &state)
+{
+    // maxReduce + expSumInPlace + divideBy over n = 320 scores.
+    const Kernels &k = tableFor(state.range(0));
+    const Fixture f = makeFixture(320, 2);
+    const Vector scores = f.key.column(0);
+    Vector work(scores.size());
+    for (auto _ : state) {
+        std::copy(scores.begin(), scores.end(), work.begin());
+        const float maxVal = k.maxReduce(work.data(), work.size());
+        const float sum =
+            k.expSumInPlace(work.data(), work.size(), maxVal);
+        k.divideBy(work.data(), work.size(), sum);
+        benchmark::DoNotOptimize(work.data());
+    }
+    state.SetLabel(kernelIsaName(k.isa));
+}
+BENCHMARK(BM_KernelSoftmaxPath)->Arg(0)->Arg(1);
 
 }  // namespace

@@ -1,10 +1,10 @@
 #include "attention/approx_attention.hpp"
 
-#include <algorithm>
 #include <numeric>
 
 #include "attention/post_scoring.hpp"
 #include "attention/reference.hpp"
+#include "kernels/kernels.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -21,6 +21,7 @@ ApproxAttention::ApproxAttention(Matrix key, Matrix value,
              "attention task must be non-empty");
     if (config_.candidateSelection)
         sorted_ = SortedKey::build(key_);
+    Scratch::forThread().reserveTask(key_.rows(), key_.cols());
 }
 
 CandidateSearchResult
@@ -33,68 +34,76 @@ ApproxAttention::selectCandidates(const Vector &query) const
                                  config_.skipHeuristic);
 }
 
-ApproxAttention::CandidateStage
-ApproxAttention::candidateStage(const Vector &query) const
+std::size_t
+ApproxAttention::candidateRowsInto(const Vector &query,
+                                   Scratch &scratch) const
 {
-    CandidateStage stage;
     const std::size_t n = key_.rows();
-    if (config_.candidateSelection) {
-        CandidateSearchResult search = selectCandidates(query);
-        stage.iterations = config_.iterationsFor(n);
-        stage.rows = std::move(search.candidates);
-        if (stage.rows.empty()) {
-            // Degenerate case (all products non-positive): keep the row
-            // with the largest greedy score so the softmax stays
-            // well-defined; the paper's skip heuristic makes this rare.
-            const auto best = std::max_element(
-                search.greedyScore.begin(), search.greedyScore.end());
-            stage.rows.push_back(static_cast<std::uint32_t>(
-                best - search.greedyScore.begin()));
-        }
-    } else {
-        stage.rows.resize(n);
-        std::iota(stage.rows.begin(), stage.rows.end(), 0u);
+    if (!config_.candidateSelection) {
+        scratch.rowIds.resize(n);
+        std::iota(scratch.rowIds.begin(), scratch.rowIds.end(), 0u);
+        return 0;
     }
-    return stage;
+    const std::size_t iterations = config_.iterationsFor(n);
+    efficientGreedySearchCore(sorted_, query, iterations,
+                              config_.skipHeuristic, scratch);
+    if (scratch.rowIds.empty()) {
+        // Degenerate case (all products non-positive): keep the row
+        // with the largest greedy score so the softmax stays
+        // well-defined; the paper's skip heuristic makes this rare.
+        // Compared in float, first-of-equals, exactly as the historic
+        // max_element over the float greedyScore array did.
+        std::uint32_t best = 0;
+        float bestScore = static_cast<float>(scratch.greedy[0]);
+        for (std::size_t r = 1; r < n; ++r) {
+            const float g = static_cast<float>(scratch.greedy[r]);
+            if (g > bestScore) {
+                bestScore = g;
+                best = static_cast<std::uint32_t>(r);
+            }
+        }
+        scratch.rowIds.push_back(best);
+    }
+    return iterations;
 }
 
-AttentionResult
-ApproxAttention::run(const Vector &query) const
+void
+ApproxAttention::runInto(const Vector &query,
+                         AttentionResult &out) const
 {
     a3Assert(query.size() == key_.cols(), "query dimension mismatch");
+    Scratch &scratch = Scratch::forThread();
+    const Kernels &k = activeKernels();
 
     // Stage 1: candidate selection.
-    CandidateStage stage = candidateStage(query);
-    std::vector<std::uint32_t> candidates = std::move(stage.rows);
-    const std::size_t iterations = stage.iterations;
+    const std::size_t iterations = candidateRowsInto(query, scratch);
+    const std::size_t count = scratch.rowIds.size();
 
     // Stage 2: exact dot products for the candidates.
-    Vector candidateScores(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        candidateScores[i] = dot(key_.row(candidates[i]),
-                                 std::span<const float>(query));
-    }
+    scratch.candScores.resize(count);
+    k.gatherDot(key_.data().data(), key_.cols(),
+                scratch.rowIds.data(), count, query.data(),
+                scratch.candScores.data());
 
     // Stage 3: post-scoring selection.
-    std::vector<std::uint32_t> kept;
     if (config_.postScoring) {
-        kept = postScoringSelect(candidates, candidateScores,
-                                 config_.scoreGap());
+        postScoringSelectInto(scratch.rowIds, scratch.candScores,
+                              config_.scoreGap(), scratch.kept);
     } else {
-        kept = candidates;
+        scratch.kept.assign(scratch.rowIds.begin(),
+                            scratch.rowIds.end());
     }
 
     // Stages 4-5: softmax and weighted sum over the kept rows.
-    AttentionResult result =
-        subsetAttention(key_, value_, query, kept);
-    result.candidates = std::move(candidates);
-    result.kept = std::move(kept);
-    result.iterations = iterations;
-    // subsetAttention() only filled scores for kept rows; also record
-    // the candidate scores that post-scoring inspected.
-    for (std::size_t i = 0; i < result.candidates.size(); ++i)
-        result.scores[result.candidates[i]] = candidateScores[i];
-    return result;
+    subsetAttentionInto(key_, value_, query, scratch.kept, out,
+                        scratch);
+    out.candidates.assign(scratch.rowIds.begin(),
+                          scratch.rowIds.end());
+    out.iterations = iterations;
+    // subsetAttentionInto() only filled scores for kept rows; also
+    // record the candidate scores that post-scoring inspected.
+    for (std::size_t i = 0; i < count; ++i)
+        out.scores[scratch.rowIds[i]] = scratch.candScores[i];
 }
 
 }  // namespace a3

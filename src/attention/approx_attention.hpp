@@ -39,30 +39,26 @@ class ApproxAttention final : public AttentionBackend
      */
     ApproxAttention(Matrix key, Matrix value, ApproxConfig config);
 
-    /** Answer one query. */
-    AttentionResult run(const Vector &query) const override;
+    /** Answer one query (allocation-free; see AttentionBackend). */
+    void runInto(const Vector &query,
+                 AttentionResult &out) const override;
 
     /** Candidate search only (exposed for Figure 11 sweeps). */
     CandidateSearchResult selectCandidates(const Vector &query) const;
 
-    /** Outcome of the candidate-selection stage for one query. */
-    struct CandidateStage
-    {
-        /** Surviving rows, ascending; all n rows if selection is off. */
-        std::vector<std::uint32_t> rows;
-
-        /** Greedy iterations executed (0 when selection is off). */
-        std::size_t iterations = 0;
-    };
-
     /**
      * Stage 1 only: greedy candidate selection per the configuration,
      * including the degenerate-case fallback (all products
-     * non-positive keeps the best greedy row). Shared by the float
-     * flow here and the quantized ApproxQuantizedAttention flow so
-     * the two model the same selection hardware.
+     * non-positive keeps the best greedy row). Surviving rows land in
+     * scratch.rowIds (ascending; all n rows when selection is off),
+     * the greedy working state in scratch.greedy / scratch.maxHeap /
+     * scratch.minHeap. Returns the iterations executed (0 when
+     * selection is off). Shared by the float flow here and the
+     * quantized ApproxQuantizedAttention flow so the two model the
+     * same selection hardware.
      */
-    CandidateStage candidateStage(const Vector &query) const;
+    std::size_t candidateRowsInto(const Vector &query,
+                                  Scratch &scratch) const;
 
     std::string name() const override { return "approx"; }
     const ApproxConfig &config() const { return config_; }

@@ -1,11 +1,13 @@
 #include "attention/backend.hpp"
 
+#include <numeric>
 #include <utility>
 
 #include "attention/approx_attention.hpp"
 #include "attention/post_scoring.hpp"
 #include "attention/quantized.hpp"
 #include "attention/reference.hpp"
+#include "kernels/scratch.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -34,12 +36,18 @@ ReferenceAttention::ReferenceAttention(Matrix key, Matrix value)
              "key/value shape mismatch");
     a3Assert(key_.rows() > 0 && key_.cols() > 0,
              "attention task must be non-empty");
+    Scratch::forThread().reserveTask(key_.rows(), key_.cols());
 }
 
-AttentionResult
-ReferenceAttention::run(const Vector &query) const
+void
+ReferenceAttention::runInto(const Vector &query,
+                            AttentionResult &out) const
 {
-    return referenceAttention(key_, value_, query);
+    Scratch &scratch = Scratch::forThread();
+    scratch.rowIds.resize(key_.rows());
+    std::iota(scratch.rowIds.begin(), scratch.rowIds.end(), 0u);
+    subsetAttentionInto(key_, value_, query, scratch.rowIds, out,
+                        scratch);
 }
 
 ApproxQuantizedAttention::ApproxQuantizedAttention(Matrix key,
@@ -50,7 +58,7 @@ ApproxQuantizedAttention::ApproxQuantizedAttention(Matrix key,
     : approx_(std::make_unique<ApproxAttention>(
           std::move(key), std::move(value), approx)),
       datapath_(std::make_unique<QuantizedAttention>(
-          intBits, fracBits, approx_->rows(), approx_->dims()))
+          approx_->key(), approx_->value(), intBits, fracBits))
 {
 }
 
@@ -68,38 +76,32 @@ ApproxQuantizedAttention::dims() const
     return approx_->dims();
 }
 
-AttentionResult
-ApproxQuantizedAttention::run(const Vector &query) const
+void
+ApproxQuantizedAttention::runInto(const Vector &query,
+                                  AttentionResult &out) const
 {
     const ApproxConfig &config = approx_->config();
-    // Same selection hardware as the float flow.
-    ApproxAttention::CandidateStage stage =
-        approx_->candidateStage(query);
-    std::vector<std::uint32_t> candidates = std::move(stage.rows);
+    Scratch &scratch = Scratch::forThread();
 
-    AttentionResult pass = datapath_->run(approx_->key(),
-                                          approx_->value(), query,
-                                          candidates);
-    AttentionResult result;
-    std::vector<std::uint32_t> kept;
+    // Same selection hardware as the float flow.
+    const std::size_t iterations =
+        approx_->candidateRowsInto(query, scratch);
+    const std::size_t count = scratch.rowIds.size();
+
+    datapath_->runRowsInto(query, scratch.rowIds, out);
     if (config.postScoring) {
-        Vector scores(candidates.size());
-        for (std::size_t i = 0; i < candidates.size(); ++i)
-            scores[i] = pass.scores[candidates[i]];
-        kept = postScoringSelect(candidates, scores,
-                                 config.scoreGap());
-        result = datapath_->run(approx_->key(), approx_->value(),
-                                query, kept);
-    } else {
-        // Post-scoring off keeps every candidate; the first pipeline
-        // pass already is the final result.
-        kept = candidates;
-        result = std::move(pass);
+        scratch.candScores.resize(count);
+        for (std::size_t i = 0; i < count; ++i)
+            scratch.candScores[i] = out.scores[scratch.rowIds[i]];
+        postScoringSelectInto(scratch.rowIds, scratch.candScores,
+                              config.scoreGap(), scratch.kept);
+        datapath_->runRowsInto(query, scratch.kept, out);
     }
-    result.candidates = std::move(candidates);
-    result.kept = std::move(kept);
-    result.iterations = stage.iterations;
-    return result;
+    // Either pipeline pass already recorded its row list as out.kept;
+    // only the candidate list and iteration count remain to fill in.
+    out.candidates.assign(scratch.rowIds.begin(),
+                          scratch.rowIds.end());
+    out.iterations = iterations;
 }
 
 std::unique_ptr<AttentionBackend>

@@ -40,10 +40,15 @@ class ApproxAttention;
 class QuantizedAttention;
 
 /**
- * One preprocessed key/value task that can answer queries. run() must
- * be const and thread-compatible: the AttentionEngine calls it from
- * many threads concurrently, and batched results are required to be
- * bit-identical to sequential per-query calls.
+ * One preprocessed key/value task that can answer queries. runInto()
+ * must be const and thread-compatible: the AttentionEngine calls it
+ * from many threads concurrently, and batched results are required to
+ * be bit-identical to sequential per-query calls.
+ *
+ * Per-query transients live in the calling thread's Scratch arena
+ * (kernels/scratch.hpp) and the caller's AttentionResult, so a
+ * steady-state runInto() — same thread, reused result object —
+ * performs zero heap allocations.
  */
 class AttentionBackend
 {
@@ -54,7 +59,21 @@ class AttentionBackend
     virtual std::string name() const = 0;
 
     /** Answer one query against the bound task. */
-    virtual AttentionResult run(const Vector &query) const = 0;
+    AttentionResult
+    run(const Vector &query) const
+    {
+        AttentionResult out;
+        runInto(query, out);
+        return out;
+    }
+
+    /**
+     * Answer one query, writing every field of `out`. Reusing one
+     * result object across calls reuses its buffers: after the first
+     * call at a given task size, no field reallocates.
+     */
+    virtual void runInto(const Vector &query,
+                         AttentionResult &out) const = 0;
 
     /** Rows n of the bound task. */
     virtual std::size_t rows() const = 0;
@@ -98,7 +117,8 @@ class ReferenceAttention final : public AttentionBackend
     ReferenceAttention(Matrix key, Matrix value);
 
     std::string name() const override { return "reference"; }
-    AttentionResult run(const Vector &query) const override;
+    void runInto(const Vector &query,
+                 AttentionResult &out) const override;
     std::size_t rows() const override { return key_.rows(); }
     std::size_t dims() const override { return key_.cols(); }
 
@@ -130,7 +150,8 @@ class ApproxQuantizedAttention final : public AttentionBackend
     ~ApproxQuantizedAttention() override;
 
     std::string name() const override { return "approx-quantized"; }
-    AttentionResult run(const Vector &query) const override;
+    void runInto(const Vector &query,
+                 AttentionResult &out) const override;
     std::size_t rows() const override;
     std::size_t dims() const override;
 

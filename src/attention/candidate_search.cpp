@@ -1,7 +1,7 @@
 #include "attention/candidate_search.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <numeric>
 
 #include "util/logging.hpp"
 
@@ -18,27 +18,27 @@ struct Product
 };
 
 /** Collect rows whose accumulated greedy score ended up positive. */
-std::vector<std::uint32_t>
-positiveRows(const std::vector<double> &greedy)
+void
+positiveRowsInto(const std::vector<double> &greedy,
+                 std::vector<std::uint32_t> &rows)
 {
-    std::vector<std::uint32_t> rows;
+    rows.clear();
     for (std::size_t r = 0; r < greedy.size(); ++r) {
         if (greedy[r] > 0.0)
             rows.push_back(static_cast<std::uint32_t>(r));
     }
-    return rows;
 }
 
 CandidateSearchResult
-finalize(const std::vector<double> &greedy, std::size_t maxPops,
-         std::size_t minPops, std::size_t skipped)
+finalize(const Scratch &scratch, const GreedySearchStats &stats)
 {
     CandidateSearchResult out;
-    out.candidates = positiveRows(greedy);
-    out.greedyScore.assign(greedy.begin(), greedy.end());
-    out.maxPops = maxPops;
-    out.minPops = minPops;
-    out.skippedMinOps = skipped;
+    out.candidates = scratch.rowIds;
+    out.greedyScore.assign(scratch.greedy.begin(),
+                           scratch.greedy.end());
+    out.maxPops = stats.maxPops;
+    out.minPops = stats.minPops;
+    out.skippedMinOps = stats.skippedMinOps;
     return out;
 }
 
@@ -55,6 +55,9 @@ baseGreedySearch(const Matrix &key, const Vector &query,
     // Materialize the full element-wise product matrix (Figure 6) and
     // derive two total orders over it. This is the O(nd log nd)
     // conceptual algorithm; efficientGreedySearch() is the fast twin.
+    // The orders are sorted 4-byte index permutations into the one
+    // product array — not another copy of the 16-byte products —
+    // which cuts peak memory from 2x to 1.5x the product matrix.
     std::vector<Product> products;
     products.reserve(n * d);
     for (std::uint32_t r = 0; r < n; ++r) {
@@ -66,19 +69,30 @@ baseGreedySearch(const Matrix &key, const Vector &query,
         }
     }
 
-    std::vector<Product> maxOrder = products;
+    std::vector<std::uint32_t> maxOrder(products.size());
+    std::iota(maxOrder.begin(), maxOrder.end(), 0u);
+    std::vector<std::uint32_t> minOrder = maxOrder;
+    // Ties beyond (score, colId) break on rowId so both permutations
+    // are fully deterministic regardless of sort implementation.
     std::sort(maxOrder.begin(), maxOrder.end(),
-              [](const Product &a, const Product &b) {
-                  if (a.score != b.score)
-                      return a.score > b.score;
-                  return a.colId < b.colId;
+              [&](std::uint32_t a, std::uint32_t b) {
+                  const Product &pa = products[a];
+                  const Product &pb = products[b];
+                  if (pa.score != pb.score)
+                      return pa.score > pb.score;
+                  if (pa.colId != pb.colId)
+                      return pa.colId < pb.colId;
+                  return pa.rowId < pb.rowId;
               });
-    std::vector<Product> minOrder = std::move(products);
     std::sort(minOrder.begin(), minOrder.end(),
-              [](const Product &a, const Product &b) {
-                  if (a.score != b.score)
-                      return a.score < b.score;
-                  return a.colId < b.colId;
+              [&](std::uint32_t a, std::uint32_t b) {
+                  const Product &pa = products[a];
+                  const Product &pb = products[b];
+                  if (pa.score != pb.score)
+                      return pa.score < pb.score;
+                  if (pa.colId != pb.colId)
+                      return pa.colId < pb.colId;
+                  return pa.rowId < pb.rowId;
               });
 
     std::vector<double> greedy(n, 0.0);
@@ -93,7 +107,7 @@ baseGreedySearch(const Matrix &key, const Vector &query,
         if (maxIdx >= maxOrder.size() && minIdx >= minOrder.size())
             break;
         if (maxIdx < maxOrder.size()) {
-            const Product &p = maxOrder[maxIdx++];
+            const Product &p = products[maxOrder[maxIdx++]];
             ++maxPops;
             cumulative += p.score;
             if (p.score > 0.0)
@@ -102,32 +116,30 @@ baseGreedySearch(const Matrix &key, const Vector &query,
         if (skipHeuristic && cumulative < 0.0) {
             ++skipped;
         } else if (minIdx < minOrder.size()) {
-            const Product &p = minOrder[minIdx++];
+            const Product &p = products[minOrder[minIdx++]];
             ++minPops;
             cumulative += p.score;
             if (p.score < 0.0)
                 greedy[p.rowId] += p.score;
         }
     }
-    return finalize(greedy, maxPops, minPops, skipped);
+
+    CandidateSearchResult out;
+    positiveRowsInto(greedy, out.candidates);
+    out.greedyScore.assign(greedy.begin(), greedy.end());
+    out.maxPops = maxPops;
+    out.minPops = minPops;
+    out.skippedMinOps = skipped;
+    return out;
 }
 
 namespace {
 
-/** Priority-queue element: a product plus its sorted-column position. */
-struct HeapEntry
-{
-    double score;
-    std::uint32_t rowId;
-    std::uint32_t colId;
-    std::int64_t pos;  ///< position inside the sorted column
-};
-
-/** Orders the max queue: larger score first, smaller column on ties. */
-struct MaxQueueLess
+/** Orders the max heap: larger score first, smaller column on ties. */
+struct MaxHeapLess
 {
     bool
-    operator()(const HeapEntry &a, const HeapEntry &b) const
+    operator()(const GreedyHeapEntry &a, const GreedyHeapEntry &b) const
     {
         if (a.score != b.score)
             return a.score < b.score;
@@ -135,11 +147,11 @@ struct MaxQueueLess
     }
 };
 
-/** Orders the min queue: smaller score first, smaller column on ties. */
-struct MinQueueLess
+/** Orders the min heap: smaller score first, smaller column on ties. */
+struct MinHeapLess
 {
     bool
-    operator()(const HeapEntry &a, const HeapEntry &b) const
+    operator()(const GreedyHeapEntry &a, const GreedyHeapEntry &b) const
     {
         if (a.score != b.score)
             return a.score > b.score;
@@ -147,11 +159,33 @@ struct MinQueueLess
     }
 };
 
+/** push_back + push_heap: what std::priority_queue::push does. */
+template <typename Less>
+void
+heapPush(std::vector<GreedyHeapEntry> &heap, const GreedyHeapEntry &e,
+         Less less)
+{
+    heap.push_back(e);
+    std::push_heap(heap.begin(), heap.end(), less);
+}
+
+/** top + pop_heap + pop_back: what std::priority_queue::pop does. */
+template <typename Less>
+GreedyHeapEntry
+heapPop(std::vector<GreedyHeapEntry> &heap, Less less)
+{
+    std::pop_heap(heap.begin(), heap.end(), less);
+    const GreedyHeapEntry popped = heap.back();
+    heap.pop_back();
+    return popped;
+}
+
 }  // namespace
 
-CandidateSearchResult
-efficientGreedySearch(const SortedKey &sortedKey, const Vector &query,
-                      std::size_t iterations, bool skipHeuristic)
+GreedySearchStats
+efficientGreedySearchCore(const SortedKey &sortedKey,
+                          const Vector &query, std::size_t iterations,
+                          bool skipHeuristic, Scratch &scratch)
 {
     a3Assert(query.size() == sortedKey.cols(),
              "query dimension mismatch");
@@ -159,77 +193,86 @@ efficientGreedySearch(const SortedKey &sortedKey, const Vector &query,
     const std::size_t d = sortedKey.cols();
     a3Assert(n > 0, "candidate search over empty key matrix");
 
-    using MaxQueue = std::priority_queue<HeapEntry,
-                                         std::vector<HeapEntry>,
-                                         MaxQueueLess>;
-    using MinQueue = std::priority_queue<HeapEntry,
-                                         std::vector<HeapEntry>,
-                                         MinQueueLess>;
-    MaxQueue maxQ;
-    MinQueue minQ;
+    std::vector<GreedyHeapEntry> &maxHeap = scratch.maxHeap;
+    std::vector<GreedyHeapEntry> &minHeap = scratch.minHeap;
+    maxHeap.clear();
+    minHeap.clear();
 
-    // Traversal direction per column: the max pointer starts at the
-    // largest product and walks toward smaller products; the min pointer
-    // is its mirror (Figure 7, pointer initialization).
-    std::vector<int> maxDir(d);
-    std::vector<int> minDir(d);
     auto makeEntry = [&](std::size_t col, std::int64_t pos) {
         const SortedKeyEntry &e =
             sortedKey.at(static_cast<std::size_t>(pos), col);
-        return HeapEntry{static_cast<double>(e.val) *
-                             static_cast<double>(query[col]),
-                         e.rowId, static_cast<std::uint32_t>(col), pos};
+        return GreedyHeapEntry{static_cast<double>(e.val) *
+                                   static_cast<double>(query[col]),
+                               e.rowId, static_cast<std::uint32_t>(col),
+                               pos};
     };
+
+    // Traversal direction per column: the max pointer starts at the
+    // largest product and walks toward smaller products; the min
+    // pointer is its mirror (Figure 7, pointer initialization). The
+    // direction is recomputed from the query sign on advance rather
+    // than stored per column.
     for (std::size_t c = 0; c < d; ++c) {
         const bool positiveQuery = query[c] > 0.0f;
-        maxDir[c] = positiveQuery ? -1 : +1;
-        minDir[c] = -maxDir[c];
         const std::int64_t maxStart =
             positiveQuery ? static_cast<std::int64_t>(n) - 1 : 0;
         const std::int64_t minStart =
             positiveQuery ? 0 : static_cast<std::int64_t>(n) - 1;
-        maxQ.push(makeEntry(c, maxStart));
-        minQ.push(makeEntry(c, minStart));
+        heapPush(maxHeap, makeEntry(c, maxStart), MaxHeapLess{});
+        heapPush(minHeap, makeEntry(c, minStart), MinHeapLess{});
     }
 
-    std::vector<double> greedy(n, 0.0);
+    std::vector<double> &greedy = scratch.greedy;
+    greedy.assign(n, 0.0);
     double cumulative = 0.0;
-    std::size_t maxPops = 0;
-    std::size_t minPops = 0;
-    std::size_t skipped = 0;
+    GreedySearchStats stats;
 
-    auto advance = [&](auto &queue, const HeapEntry &popped,
-                       const std::vector<int> &dir) {
-        const std::int64_t next = popped.pos + dir[popped.colId];
+    auto advance = [&](std::vector<GreedyHeapEntry> &heap,
+                       const GreedyHeapEntry &popped, auto less,
+                       bool maxSide) {
+        const bool positiveQuery = query[popped.colId] > 0.0f;
+        const int dir = (positiveQuery == maxSide) ? -1 : +1;
+        const std::int64_t next = popped.pos + dir;
         if (next >= 0 && next < static_cast<std::int64_t>(n))
-            queue.push(makeEntry(popped.colId, next));
+            heapPush(heap, makeEntry(popped.colId, next), less);
     };
 
     for (std::size_t iter = 0; iter < iterations; ++iter) {
-        if (maxQ.empty() && minQ.empty())
+        if (maxHeap.empty() && minHeap.empty())
             break;
-        if (!maxQ.empty()) {
-            const HeapEntry popped = maxQ.top();
-            maxQ.pop();
-            ++maxPops;
+        if (!maxHeap.empty()) {
+            const GreedyHeapEntry popped =
+                heapPop(maxHeap, MaxHeapLess{});
+            ++stats.maxPops;
             cumulative += popped.score;
             if (popped.score > 0.0)
                 greedy[popped.rowId] += popped.score;
-            advance(maxQ, popped, maxDir);
+            advance(maxHeap, popped, MaxHeapLess{}, true);
         }
         if (skipHeuristic && cumulative < 0.0) {
-            ++skipped;
-        } else if (!minQ.empty()) {
-            const HeapEntry popped = minQ.top();
-            minQ.pop();
-            ++minPops;
+            ++stats.skippedMinOps;
+        } else if (!minHeap.empty()) {
+            const GreedyHeapEntry popped =
+                heapPop(minHeap, MinHeapLess{});
+            ++stats.minPops;
             cumulative += popped.score;
             if (popped.score < 0.0)
                 greedy[popped.rowId] += popped.score;
-            advance(minQ, popped, minDir);
+            advance(minHeap, popped, MinHeapLess{}, false);
         }
     }
-    return finalize(greedy, maxPops, minPops, skipped);
+    positiveRowsInto(greedy, scratch.rowIds);
+    return stats;
+}
+
+CandidateSearchResult
+efficientGreedySearch(const SortedKey &sortedKey, const Vector &query,
+                      std::size_t iterations, bool skipHeuristic)
+{
+    Scratch &scratch = Scratch::forThread();
+    const GreedySearchStats stats = efficientGreedySearchCore(
+        sortedKey, query, iterations, skipHeuristic, scratch);
+    return finalize(scratch, stats);
 }
 
 }  // namespace a3

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "attention/sorted_key.hpp"
+#include "kernels/scratch.hpp"
 #include "tensor/matrix.hpp"
 
 namespace a3 {
@@ -71,6 +72,28 @@ CandidateSearchResult efficientGreedySearch(const SortedKey &sortedKey,
                                             const Vector &query,
                                             std::size_t iterations,
                                             bool skipHeuristic = true);
+
+/** Pop/skip counters of one greedy search (no owned buffers). */
+struct GreedySearchStats
+{
+    std::size_t maxPops = 0;
+    std::size_t minPops = 0;
+    std::size_t skippedMinOps = 0;
+};
+
+/**
+ * Allocation-free core of efficientGreedySearch(): final greedy
+ * scores land in scratch.greedy (length n, double precision),
+ * candidate rows (positive final score, ascending) in scratch.rowIds,
+ * and the two priority heaps live in scratch.maxHeap / scratch.minHeap.
+ * Identical pop order — hence bit-identical results — to the
+ * allocating wrapper.
+ */
+GreedySearchStats efficientGreedySearchCore(const SortedKey &sortedKey,
+                                            const Vector &query,
+                                            std::size_t iterations,
+                                            bool skipHeuristic,
+                                            Scratch &scratch);
 
 }  // namespace a3
 

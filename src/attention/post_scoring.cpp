@@ -1,9 +1,8 @@
 #include "attention/post_scoring.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <limits>
 
+#include "kernels/kernels.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -27,25 +26,33 @@ std::vector<std::uint32_t>
 postScoringSelect(const std::vector<std::uint32_t> &rows,
                   const Vector &scores, double scoreGap)
 {
+    std::vector<std::uint32_t> kept;
+    kept.reserve(rows.size());
+    postScoringSelectInto(rows, scores, scoreGap, kept);
+    return kept;
+}
+
+void
+postScoringSelectInto(std::span<const std::uint32_t> rows,
+                      std::span<const float> scores, double scoreGap,
+                      std::vector<std::uint32_t> &kept)
+{
     a3Assert(rows.size() == scores.size(),
              "post-scoring rows/scores size mismatch");
     a3Assert(scoreGap >= 0.0, "post-scoring gap must be non-negative");
+    kept.clear();
     if (rows.empty())
-        return {};
+        return;
 
-    float best = -std::numeric_limits<float>::infinity();
-    for (float s : scores)
-        best = std::max(best, s);
+    const float best =
+        activeKernels().maxReduce(scores.data(), scores.size());
 
-    std::vector<std::uint32_t> kept;
-    kept.reserve(rows.size());
     for (std::size_t i = 0; i < rows.size(); ++i) {
         if (static_cast<double>(best) - static_cast<double>(scores[i]) <=
             scoreGap) {
             kept.push_back(rows[i]);
         }
     }
-    return kept;
 }
 
 }  // namespace a3

@@ -15,6 +15,7 @@
 #define A3_ATTENTION_POST_SCORING_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/matrix.hpp"
@@ -38,6 +39,16 @@ double percentFromThreshold(double t);
 std::vector<std::uint32_t>
 postScoringSelect(const std::vector<std::uint32_t> &rows,
                   const Vector &scores, double scoreGap);
+
+/**
+ * Allocation-free core of postScoringSelect(): survivors are written
+ * into `kept` (cleared first, capacity reused). `rows`/`scores` may
+ * alias Scratch buffers other than `kept`.
+ */
+void postScoringSelectInto(std::span<const std::uint32_t> rows,
+                           std::span<const float> scores,
+                           double scoreGap,
+                           std::vector<std::uint32_t> &kept);
 
 }  // namespace a3
 

@@ -25,23 +25,54 @@ QuantizedAttention::QuantizedAttention(Matrix key, Matrix value,
              "key/value shape mismatch");
     a3Assert(key.rows() > 0 && key.cols() > 0,
              "attention task must be non-empty");
-    key_ = std::move(key);
-    value_ = std::move(value);
+
+    // Quantize the task once at bind time — the host copies quantized
+    // matrices into the accelerator SRAM exactly once per task — and
+    // drop the float originals: every runInto() reads the cached words
+    // instead of re-quantizing n x d floats per query.
+    const FixedFormat inFmt = formats_.input;
+    const std::size_t n = key.rows();
+    const std::size_t d = key.cols();
+    boundRows_ = n;
     bound_ = true;
+    keyQ_.resize(n * d);
+    valueQ_.resize(n * d);
+    for (std::size_t i = 0; i < n * d; ++i) {
+        keyQ_[i] = static_cast<std::int32_t>(
+            inFmt.quantize(key.data()[i]));
+        valueQ_[i] = static_cast<std::int32_t>(
+            inFmt.quantize(value.data()[i]));
+    }
+    Scratch::forThread().reserveTask(n, d);
 }
 
 std::size_t
 QuantizedAttention::rows() const
 {
-    return bound_ ? key_.rows() : maxRows_;
+    return bound_ ? boundRows_ : maxRows_;
 }
 
-AttentionResult
-QuantizedAttention::run(const Vector &query) const
+void
+QuantizedAttention::runInto(const Vector &query,
+                            AttentionResult &out) const
 {
     a3Assert(bound_, "one-argument run() needs a bound task; use the "
                      "(key, value, intBits, fracBits) constructor");
-    return run(key_, value_, query);
+    Scratch &scratch = Scratch::forThread();
+    scratch.rowIds.resize(boundRows_);
+    std::iota(scratch.rowIds.begin(), scratch.rowIds.end(), 0u);
+    runCore(boundRows_, nullptr, nullptr, query, scratch.rowIds, out,
+            scratch);
+}
+
+void
+QuantizedAttention::runRowsInto(const Vector &query,
+                                std::span<const std::uint32_t> rows,
+                                AttentionResult &out) const
+{
+    a3Assert(bound_, "runRowsInto() needs a bound task");
+    runCore(boundRows_, nullptr, nullptr, query, rows, out,
+            Scratch::forThread());
 }
 
 AttentionResult
@@ -60,29 +91,55 @@ QuantizedAttention::run(const Matrix &key, const Matrix &value,
 {
     a3Assert(key.rows() == value.rows() && key.cols() == value.cols(),
              "key/value shape mismatch");
-    a3Assert(key.rows() <= maxRows_ && key.cols() == dims_,
+    AttentionResult out;
+    runCore(key.rows(), &key, &value, query, rows, out,
+            Scratch::forThread());
+    return out;
+}
+
+void
+QuantizedAttention::runCore(std::size_t n, const Matrix *key,
+                            const Matrix *value, const Vector &query,
+                            std::span<const std::uint32_t> rows,
+                            AttentionResult &result,
+                            Scratch &scratch) const
+{
+    a3Assert(key == nullptr ||
+                 (key->rows() == n && key->cols() == dims_ &&
+                  value->rows() == n && value->cols() == dims_),
              "task exceeds the sized pipeline capacity (",
-             key.rows(), "x", key.cols(), " vs ", maxRows_, "x", dims_,
-             ")");
+             key != nullptr ? key->rows() : n, "x",
+             key != nullptr ? key->cols() : dims_, " vs ", maxRows_,
+             "x", dims_, ")");
+    a3Assert(n <= maxRows_,
+             "task exceeds the sized pipeline capacity (", n, " rows "
+             "vs ", maxRows_, ")");
     a3Assert(!rows.empty(), "quantized pipeline needs at least one row");
 
-    const std::size_t d = key.cols();
+    const std::size_t d = dims_;
+    const std::size_t m = rows.size();
     const FixedFormat inFmt = formats_.input;
 
     // Quantize the query once (host copies the quantized vector in).
-    std::vector<std::int64_t> queryQ(d);
+    std::vector<std::int64_t> &queryQ = scratch.queryQ;
+    queryQ.resize(d);
     for (std::size_t j = 0; j < d; ++j)
         queryQ[j] = inFmt.quantize(query[j]);
 
     // --- Module 1: dot products and running max (Figure 5 lines 3-10).
-    std::vector<std::int64_t> dotQ(rows.size());
+    std::vector<std::int64_t> &dotQ = scratch.dotQ;
+    dotQ.resize(m);
     std::int64_t maxDot = 0;
-    for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t i = 0; i < m; ++i) {
         const std::uint32_t r = rows[i];
         std::int64_t sum = 0;  // adder-tree accumulator, (2i+log2 d, 2f)
-        for (std::size_t j = 0; j < d; ++j) {
-            const std::int64_t k = inFmt.quantize(key(r, j));
-            sum += k * queryQ[j];
+        if (key == nullptr) {
+            const std::int32_t *keyRow = keyQ_.data() + r * d;
+            for (std::size_t j = 0; j < d; ++j)
+                sum += keyRow[j] * queryQ[j];
+        } else {
+            for (std::size_t j = 0; j < d; ++j)
+                sum += inFmt.quantize((*key)(r, j)) * queryQ[j];
         }
         a3Assert(formats_.dotProduct.fits(sum),
                  "dot-product stage overflow: Section III-B widths "
@@ -93,9 +150,10 @@ QuantizedAttention::run(const Matrix &key, const Matrix &value,
     }
 
     // --- Module 2: exponent computation (Figure 5 lines 11-16).
-    std::vector<std::int64_t> scoreQ(rows.size());
+    std::vector<std::int64_t> &scoreQ = scratch.scoreQ;
+    scoreQ.resize(m);
     std::int64_t expSum = 0;  // (log2 n, 2f)
-    for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t i = 0; i < m; ++i) {
         const std::int64_t shifted = dotQ[i] - maxDot;  // <= 0
         a3Assert(formats_.shiftedDot.fits(shifted),
                  "shifted-dot stage overflow");
@@ -107,17 +165,17 @@ QuantizedAttention::run(const Matrix &key, const Matrix &value,
                          "~1 by construction");
 
     // --- Module 3: weights and output accumulation (lines 17-21).
-    const std::size_t n = key.rows();
-    AttentionResult result;
     result.scores.assign(n, 0.0f);
     result.weights.assign(n, 0.0f);
-    result.candidates = rows;
-    result.kept = rows;
+    result.candidates.assign(rows.begin(), rows.end());
+    result.kept.assign(rows.begin(), rows.end());
     result.output.assign(d, 0.0f);
+    result.iterations = 0;
 
     const FixedValue expSumV{expSum, formats_.expSum};
-    std::vector<std::int64_t> outQ(d, 0);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::int64_t> &outQ = scratch.outQ;
+    outQ.assign(d, 0);
+    for (std::size_t i = 0; i < m; ++i) {
         const std::uint32_t r = rows[i];
         const FixedValue scoreV{scoreQ[i], formats_.score};
         const FixedValue weightV =
@@ -126,8 +184,13 @@ QuantizedAttention::run(const Matrix &key, const Matrix &value,
         result.scores[r] =
             static_cast<float>(formats_.dotProduct.toDouble(dotQ[i]));
         result.weights[r] = static_cast<float>(weightV.toDouble());
+        const std::int32_t *valueRow =
+            value == nullptr ? valueQ_.data() + r * d : nullptr;
         for (std::size_t j = 0; j < d; ++j) {
-            const FixedValue valueV{inFmt.quantize(value(r, j)), inFmt};
+            const std::int64_t vq =
+                valueRow != nullptr ? valueRow[j]
+                                    : inFmt.quantize((*value)(r, j));
+            const FixedValue valueV{vq, inFmt};
             const FixedValue product = mulFull(weightV, valueV);
             // Accumulate at (i + log2 n, 3f); product already has 3f
             // fraction bits because weight carries 2f and value f.
@@ -140,7 +203,6 @@ QuantizedAttention::run(const Matrix &key, const Matrix &value,
         result.output[j] =
             static_cast<float>(formats_.output.toDouble(outQ[j]));
     }
-    return result;
 }
 
 }  // namespace a3

@@ -15,12 +15,14 @@
 #define A3_ATTENTION_QUANTIZED_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "attention/backend.hpp"
 #include "attention/types.hpp"
 #include "fixed/exp_lut.hpp"
 #include "fixed/pipeline_formats.hpp"
+#include "kernels/scratch.hpp"
 #include "tensor/matrix.hpp"
 
 namespace a3 {
@@ -40,14 +42,29 @@ class QuantizedAttention final : public AttentionBackend
 
     /**
      * Bind a key/value task into the datapath (the AttentionBackend
-     * deployment): the pipeline is sized exactly for the task and the
-     * one-argument run() answers queries against it.
+     * deployment): the pipeline is sized exactly for the task, the
+     * key/value words are quantized once up front (the host copies
+     * quantized matrices into the accelerator SRAM exactly once per
+     * task), and the one-argument run() answers queries against it.
      */
     QuantizedAttention(Matrix key, Matrix value, int intBits,
                        int fracBits);
 
+    using AttentionBackend::run;
+
     /** Answer one query against the bound task (bound mode only). */
-    AttentionResult run(const Vector &query) const override;
+    void runInto(const Vector &query,
+                 AttentionResult &out) const override;
+
+    /**
+     * Bound mode: run the pipeline over a row subset, reusing `out`'s
+     * buffers and the calling thread's Scratch — the allocation-free
+     * path the approximate flow feeds after selection. `rows` may
+     * alias Scratch row buffers.
+     */
+    void runRowsInto(const Vector &query,
+                     std::span<const std::uint32_t> rows,
+                     AttentionResult &out) const;
 
     std::string name() const override { return "quantized"; }
 
@@ -82,12 +99,32 @@ class QuantizedAttention final : public AttentionBackend
     const ExpLut &expLut() const { return lut_; }
 
   private:
+    /**
+     * The pipeline over `rows` of an n x dims_ task. In bound mode
+     * key/value are null and the pre-quantized keyQ_/valueQ_ words
+     * are read; in unbound mode the float matrices are quantized on
+     * the fly (identical values either way — quantization is
+     * deterministic, so bound and unbound runs are bit-identical).
+     */
+    void runCore(std::size_t n, const Matrix *key, const Matrix *value,
+                 const Vector &query,
+                 std::span<const std::uint32_t> rows,
+                 AttentionResult &out, Scratch &scratch) const;
+
     PipelineFormats formats_;
     ExpLut lut_;
     std::size_t maxRows_;
     std::size_t dims_;
-    Matrix key_;
-    Matrix value_;
+    /**
+     * Row-major pre-quantized words of the bound task (n x d). The
+     * float matrices are not retained: the datapath models the
+     * accelerator SRAM, which holds only quantized words. int32
+     * storage is lossless — an input word has intBits + fracBits + 1
+     * bits, far below 32 in every derivable configuration.
+     */
+    std::vector<std::int32_t> keyQ_;
+    std::vector<std::int32_t> valueQ_;
+    std::size_t boundRows_ = 0;
     bool bound_ = false;
 };
 

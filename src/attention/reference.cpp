@@ -1,28 +1,27 @@
 #include "attention/reference.hpp"
 
-#include <cmath>
-#include <limits>
 #include <numeric>
 
+#include "kernels/kernels.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
 
+void
+softmaxInPlace(float *v, std::size_t n)
+{
+    a3Assert(n > 0, "softmax of empty vector");
+    const Kernels &k = activeKernels();
+    const float maxVal = k.maxReduce(v, n);
+    const float sum = k.expSumInPlace(v, n, maxVal);
+    k.divideBy(v, n, sum);
+}
+
 Vector
 softmax(const Vector &input)
 {
-    a3Assert(!input.empty(), "softmax of empty vector");
-    float maxVal = -std::numeric_limits<float>::infinity();
-    for (float v : input)
-        maxVal = std::max(maxVal, v);
-    Vector out(input.size());
-    float sum = 0.0f;
-    for (std::size_t i = 0; i < input.size(); ++i) {
-        out[i] = std::exp(input[i] - maxVal);
-        sum += out[i];
-    }
-    for (auto &v : out)
-        v /= sum;
+    Vector out = input;
+    softmaxInPlace(out.data(), out.size());
     return out;
 }
 
@@ -40,6 +39,18 @@ subsetAttention(const Matrix &key, const Matrix &value,
                 const Vector &query,
                 const std::vector<std::uint32_t> &rows)
 {
+    AttentionResult result;
+    subsetAttentionInto(key, value, query, rows, result,
+                        Scratch::forThread());
+    return result;
+}
+
+void
+subsetAttentionInto(const Matrix &key, const Matrix &value,
+                    const Vector &query,
+                    std::span<const std::uint32_t> rows,
+                    AttentionResult &result, Scratch &scratch)
+{
     a3Assert(key.rows() == value.rows() && key.cols() == value.cols(),
              "key/value shape mismatch");
     a3Assert(query.size() == key.cols(), "query dimension mismatch");
@@ -47,35 +58,33 @@ subsetAttention(const Matrix &key, const Matrix &value,
 
     const std::size_t n = key.rows();
     const std::size_t d = key.cols();
+    const std::size_t m = rows.size();
+    for (std::uint32_t r : rows)
+        a3Assert(r < n, "row index out of range");
 
-    AttentionResult result;
+    const Kernels &k = activeKernels();
     result.scores.assign(n, 0.0f);
     result.weights.assign(n, 0.0f);
-    result.candidates = rows;
-    result.kept = rows;
+    result.candidates.assign(rows.begin(), rows.end());
+    result.kept.assign(rows.begin(), rows.end());
+    result.iterations = 0;
 
     // Step 1: dot products for the selected rows only.
-    Vector subsetScores(rows.size());
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        a3Assert(rows[i] < n, "row index out of range");
-        subsetScores[i] = dot(key.row(rows[i]),
-                              std::span<const float>(query));
-        result.scores[rows[i]] = subsetScores[i];
-    }
+    scratch.sub.resize(m);
+    k.gatherDot(key.data().data(), d, rows.data(), m, query.data(),
+                scratch.sub.data());
+    for (std::size_t i = 0; i < m; ++i)
+        result.scores[rows[i]] = scratch.sub[i];
 
     // Step 2: softmax over the subset.
-    const Vector subsetWeights = softmax(subsetScores);
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        result.weights[rows[i]] = subsetWeights[i];
+    softmaxInPlace(scratch.sub.data(), m);
+    for (std::size_t i = 0; i < m; ++i)
+        result.weights[rows[i]] = scratch.sub[i];
 
     // Step 3: weighted sum of the selected value rows.
     result.output.assign(d, 0.0f);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const auto valueRow = value.row(rows[i]);
-        for (std::size_t j = 0; j < d; ++j)
-            result.output[j] += subsetWeights[i] * valueRow[j];
-    }
-    return result;
+    k.gatherWeightedSum(value.data().data(), d, rows.data(), m,
+                        scratch.sub.data(), result.output.data());
 }
 
 }  // namespace a3

@@ -10,13 +10,23 @@
 #ifndef A3_ATTENTION_REFERENCE_HPP
 #define A3_ATTENTION_REFERENCE_HPP
 
+#include <cstdint>
+#include <span>
+
 #include "attention/types.hpp"
+#include "kernels/scratch.hpp"
 #include "tensor/matrix.hpp"
 
 namespace a3 {
 
 /** Numerically-stable softmax (subtracts the maximum before exp). */
 Vector softmax(const Vector &input);
+
+/**
+ * In-place softmax over v[0..n): v[i] becomes exp(v[i] - max) / sum.
+ * The buffer-reuse primitive the allocating softmax() wraps.
+ */
+void softmaxInPlace(float *v, std::size_t n);
 
 /**
  * Exact soft attention: output = softmax(K q)^T V.
@@ -38,6 +48,16 @@ AttentionResult referenceAttention(const Matrix &key, const Matrix &value,
 AttentionResult subsetAttention(const Matrix &key, const Matrix &value,
                                 const Vector &query,
                                 const std::vector<std::uint32_t> &rows);
+
+/**
+ * Allocation-free core of subsetAttention(): writes every field of
+ * `result` (reusing its buffers) and takes its softmax workspace from
+ * `scratch.sub`. `rows` may alias scratch.rowIds or scratch.kept.
+ */
+void subsetAttentionInto(const Matrix &key, const Matrix &value,
+                         const Vector &query,
+                         std::span<const std::uint32_t> rows,
+                         AttentionResult &result, Scratch &scratch);
 
 }  // namespace a3
 

@@ -1,6 +1,7 @@
 #include "attention/sorted_key.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/logging.hpp"
 
@@ -12,17 +13,26 @@ SortedKey::build(const Matrix &key)
     SortedKey sk;
     sk.rows_ = key.rows();
     sk.cols_ = key.cols();
-    sk.columns_.resize(sk.cols_);
+    sk.columns_.reserve(sk.cols_);
+    // Sort one reusable 4-byte index permutation per column instead of
+    // stable_sort over (val, rowId) pairs twice the size; the rowId
+    // tie-break reproduces the stable sort's original-row order for
+    // equal values, which pins down the greedy search's pop order.
+    std::vector<std::uint32_t> perm(sk.rows_);
     for (std::size_t c = 0; c < sk.cols_; ++c) {
-        auto &column = sk.columns_[c];
-        column.resize(sk.rows_);
-        for (std::size_t r = 0; r < sk.rows_; ++r)
-            column[r] = {key(r, c), static_cast<std::uint32_t>(r)};
-        std::stable_sort(column.begin(), column.end(),
-                         [](const SortedKeyEntry &a,
-                            const SortedKeyEntry &b) {
-                             return a.val < b.val;
-                         });
+        std::iota(perm.begin(), perm.end(), 0u);
+        std::sort(perm.begin(), perm.end(),
+                  [&key, c](std::uint32_t a, std::uint32_t b) {
+                      const float va = key(a, c);
+                      const float vb = key(b, c);
+                      if (va != vb)
+                          return va < vb;
+                      return a < b;
+                  });
+        auto &column = sk.columns_.emplace_back();
+        column.reserve(sk.rows_);
+        for (std::uint32_t r : perm)
+            column.push_back({key(r, c), r});
     }
     return sk;
 }

@@ -21,11 +21,30 @@ std::vector<AttentionResult>
 AttentionEngine::run(const AttentionBackend &backend,
                      const std::vector<Vector> &queries) const
 {
-    std::vector<AttentionResult> results(queries.size());
-    pool_.parallelFor(queries.size(), [&](std::size_t i) {
-        results[i] = backend.run(queries[i]);
-    });
+    std::vector<AttentionResult> results;
+    runInto(backend, queries, results);
     return results;
+}
+
+void
+AttentionEngine::runInto(const AttentionBackend &backend,
+                         const std::vector<Vector> &queries,
+                         std::vector<AttentionResult> &results) const
+{
+    results.resize(queries.size());
+    // One-pointer capture so the closure fits std::function's
+    // small-object buffer; each lane writes only its own slot through
+    // its own thread-local Scratch arena. With a reused `results`
+    // vector the whole batch is allocation-free in steady state.
+    struct Ctx
+    {
+        const AttentionBackend *backend;
+        const std::vector<Vector> *queries;
+        std::vector<AttentionResult> *results;
+    } ctx{&backend, &queries, &results};
+    pool_.parallelFor(queries.size(), [&ctx](std::size_t i) {
+        ctx.backend->runInto((*ctx.queries)[i], (*ctx.results)[i]);
+    });
 }
 
 std::vector<std::vector<AttentionResult>>
@@ -51,8 +70,8 @@ AttentionEngine::runGroups(
     pool_.parallelFor(work.size(), [&](std::size_t i) {
         const WorkItem &item = work[i];
         const AttentionRequestGroup &group = groups[item.group];
-        results[item.group][item.query] =
-            group.backend->run(group.queries[item.query]);
+        group.backend->runInto(group.queries[item.query],
+                               results[item.group][item.query]);
     });
     return results;
 }

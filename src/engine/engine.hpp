@@ -66,6 +66,17 @@ class AttentionEngine
         const std::vector<Vector> &queries) const;
 
     /**
+     * Allocation-free batch variant: answers into `results`, resizing
+     * it to queries.size() and reusing every slot's buffers. A serving
+     * loop that keeps one results vector performs zero steady-state
+     * heap allocations once the batch size and task shape have been
+     * seen (each lane's transients live in its thread-local Scratch).
+     */
+    void runInto(const AttentionBackend &backend,
+                 const std::vector<Vector> &queries,
+                 std::vector<AttentionResult> &results) const;
+
+    /**
      * Answer several request groups (multi-head or multi-sequence):
      * all (group, query) pairs are flattened into one work list so
      * small groups cannot strand lanes. result[g][i] corresponds to

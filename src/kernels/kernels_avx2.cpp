@@ -1,0 +1,248 @@
+/**
+ * @file
+ * AVX2+FMA kernel table (x86). This TU is the only one compiled with
+ * -mavx2 -mfma (see CMakeLists.txt); everything it exports is reached
+ * only after avx2Kernels() verifies at runtime that the CPU supports
+ * both extensions, so the rest of the library stays runnable on any
+ * x86-64. Tails reuse the shared scalar bodies from kernels_impl.hpp,
+ * keeping the order-preserving ops bit-identical to the scalar table;
+ * FMA appears only inside the tolerance-class kernels (dot, gatherDot,
+ * and the polynomial exp of expSumInPlace).
+ */
+
+#include "kernels/kernels.hpp"
+
+#include "kernels/kernels_impl.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace a3 {
+namespace {
+
+using namespace kernel_detail;
+
+float
+hsum256(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+    return _mm_cvtss_f32(s);
+}
+
+float
+hmax256(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 m = _mm_max_ps(lo, hi);
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 0x1));
+    return _mm_cvtss_f32(m);
+}
+
+/**
+ * Vectorized e^x (Cephes expf polynomial, the classic avx_mathfun
+ * constants): range-reduce x = n ln2 + r, evaluate a degree-5
+ * polynomial on r, and scale by 2^n via exponent insertion. Maximum
+ * relative error ~2 ulp versus libm — inside the 1e-6 tolerance
+ * contract for the reassociating kernels.
+ */
+__m256
+exp256(__m256 x)
+{
+    const __m256 hi = _mm256_set1_ps(88.3762626647949f);
+    const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+    const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+    const __m256 c1 = _mm256_set1_ps(0.693359375f);
+    const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+    const __m256 one = _mm256_set1_ps(1.0f);
+
+    x = _mm256_min_ps(_mm256_max_ps(x, lo), hi);
+
+    // n = round(x / ln2), via floor(x log2e + 0.5).
+    __m256 fx = _mm256_fmadd_ps(x, log2e, _mm256_set1_ps(0.5f));
+    fx = _mm256_floor_ps(fx);
+    // r = x - n ln2, with ln2 split in two for extra precision.
+    x = _mm256_fnmadd_ps(fx, c1, x);
+    x = _mm256_fnmadd_ps(fx, c2, x);
+
+    __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+    const __m256 z = _mm256_mul_ps(x, x);
+    y = _mm256_fmadd_ps(y, z, _mm256_add_ps(x, one));
+
+    // 2^n by building the float exponent directly.
+    __m256i n = _mm256_cvttps_epi32(fx);
+    n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+    n = _mm256_slli_epi32(n, 23);
+    return _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+}
+
+float
+expSumInPlaceAvx2(float *v, std::size_t n, float maxVal)
+{
+    const __m256 vmax = _mm256_set1_ps(maxVal);
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 e =
+            exp256(_mm256_sub_ps(_mm256_loadu_ps(v + i), vmax));
+        _mm256_storeu_ps(v + i, e);
+        acc = _mm256_add_ps(acc, e);
+    }
+    float sum = hsum256(acc);
+    for (; i < n; ++i) {
+        v[i] = std::exp(v[i] - maxVal);
+        sum += v[i];
+    }
+    return sum;
+}
+
+float
+dotAvx2(const float *a, const float *b, std::size_t n)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                               _mm256_loadu_ps(b + i + 8), acc1);
+    }
+    if (i + 8 <= n) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+        i += 8;
+    }
+    float sum = hsum256(_mm256_add_ps(acc0, acc1));
+    for (; i < n; ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+void
+axpyAvx2(float a, const float *x, float *y, std::size_t n)
+{
+    // Explicit mul + add (not fmadd): bit-identical to the scalar loop.
+    const __m256 va = _mm256_set1_ps(a);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+        _mm256_storeu_ps(y + i,
+                         _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+    }
+    axpyScalar(a, x + i, y + i, n - i);
+}
+
+float
+maxReduceAvx2(const float *v, std::size_t n)
+{
+    std::size_t i = 0;
+    float best;
+    if (n >= 8) {
+        __m256 acc = _mm256_loadu_ps(v);
+        for (i = 8; i + 8 <= n; i += 8)
+            acc = _mm256_max_ps(acc, _mm256_loadu_ps(v + i));
+        best = hmax256(acc);
+    } else {
+        best = maxReduceScalar(v, 0);  // -inf seed
+    }
+    for (; i < n; ++i)
+        best = best < v[i] ? v[i] : best;
+    return best;
+}
+
+void
+scaleAvx2(float *v, std::size_t n, float factor)
+{
+    const __m256 vf = _mm256_set1_ps(factor);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(v + i,
+                         _mm256_mul_ps(_mm256_loadu_ps(v + i), vf));
+    scaleScalar(v + i, n - i, factor);
+}
+
+void
+divideByAvx2(float *v, std::size_t n, float denom)
+{
+    const __m256 vd = _mm256_set1_ps(denom);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(v + i,
+                         _mm256_div_ps(_mm256_loadu_ps(v + i), vd));
+    divideByScalar(v + i, n - i, denom);
+}
+
+void
+gatherDotAvx2(const float *mat, std::size_t dims,
+              const std::uint32_t *rows, std::size_t count,
+              const float *q, float *out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotAvx2(mat + rows[i] * dims, q, dims);
+}
+
+void
+gatherWeightedSumAvx2(const float *mat, std::size_t dims,
+                      const std::uint32_t *rows, std::size_t count,
+                      const float *w, float *out)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const float *row = mat + rows[i] * dims;
+        const __m256 vw = _mm256_set1_ps(w[i]);
+        std::size_t j = 0;
+        for (; j + 8 <= dims; j += 8) {
+            const __m256 prod =
+                _mm256_mul_ps(vw, _mm256_loadu_ps(row + j));
+            _mm256_storeu_ps(
+                out + j, _mm256_add_ps(_mm256_loadu_ps(out + j), prod));
+        }
+        for (; j < dims; ++j)
+            out[j] += w[i] * row[j];
+    }
+}
+
+}  // namespace
+
+const Kernels *
+avx2Kernels()
+{
+    if (!__builtin_cpu_supports("avx2") ||
+        !__builtin_cpu_supports("fma"))
+        return nullptr;
+    static const Kernels table{
+        KernelIsa::Avx2,   dotAvx2,
+        axpyAvx2,          maxReduceAvx2,
+        expSumInPlaceAvx2, scaleAvx2,
+        divideByAvx2,      gatherDotAvx2,
+        gatherWeightedSumAvx2,
+    };
+    return &table;
+}
+
+}  // namespace a3
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace a3 {
+
+const Kernels *
+avx2Kernels()
+{
+    return nullptr;
+}
+
+}  // namespace a3
+
+#endif

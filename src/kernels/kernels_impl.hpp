@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared scalar bodies for the kernel tables (internal header).
+ *
+ * Every kernel TU — scalar, SSE2, AVX2, NEON — includes these inline
+ * loops: the scalar table uses them directly, and the SIMD tables use
+ * them for sub-vector tails. Sharing one definition is what makes the
+ * order-preserving ops bit-identical across tables, so do not fork
+ * per-TU copies. All kernel TUs are compiled with -ffp-contract=off
+ * (see CMakeLists.txt) so a compiler with FMA cannot contract the
+ * multiply-add pairs differently in different TUs.
+ */
+
+#ifndef A3_KERNELS_KERNELS_IMPL_HPP
+#define A3_KERNELS_KERNELS_IMPL_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace a3 {
+namespace kernel_detail {
+
+inline float
+dotScalar(const float *a, const float *b, std::size_t n)
+{
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+inline void
+axpyScalar(float a, const float *x, float *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+inline float
+maxReduceScalar(const float *v, std::size_t n)
+{
+    float best = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < n; ++i)
+        best = std::max(best, v[i]);
+    return best;
+}
+
+inline float
+expSumInPlaceScalar(float *v, std::size_t n, float maxVal)
+{
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = std::exp(v[i] - maxVal);
+        sum += v[i];
+    }
+    return sum;
+}
+
+inline void
+scaleScalar(float *v, std::size_t n, float factor)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] *= factor;
+}
+
+inline void
+divideByScalar(float *v, std::size_t n, float denom)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] /= denom;
+}
+
+inline void
+gatherDotScalar(const float *mat, std::size_t dims,
+                const std::uint32_t *rows, std::size_t count,
+                const float *q, float *out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotScalar(mat + rows[i] * dims, q, dims);
+}
+
+inline void
+gatherWeightedSumScalar(const float *mat, std::size_t dims,
+                        const std::uint32_t *rows, std::size_t count,
+                        const float *w, float *out)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const float *row = mat + rows[i] * dims;
+        for (std::size_t j = 0; j < dims; ++j)
+            out[j] += w[i] * row[j];
+    }
+}
+
+}  // namespace kernel_detail
+}  // namespace a3
+
+#endif  // A3_KERNELS_KERNELS_IMPL_HPP

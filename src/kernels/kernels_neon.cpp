@@ -1,0 +1,152 @@
+/**
+ * @file
+ * NEON kernel table (AArch64, where NEON is architecturally
+ * guaranteed). dot uses vfmaq (fused, reassociating — tolerance-class
+ * like the x86 FMA path); the order-preserving ops use explicit
+ * mul + add pairs and shared scalar tails, bit-identical to the
+ * scalar table because every kernel TU is built with
+ * -ffp-contract=off.
+ */
+
+#include "kernels/kernels.hpp"
+
+#include "kernels/kernels_impl.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace a3 {
+namespace {
+
+using namespace kernel_detail;
+
+float
+dotNeon(const float *a, const float *b, std::size_t n)
+{
+    float32x4_t acc0 = vdupq_n_f32(0.0f);
+    float32x4_t acc1 = vdupq_n_f32(0.0f);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+        acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4),
+                         vld1q_f32(b + i + 4));
+    }
+    if (i + 4 <= n) {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+        i += 4;
+    }
+    float sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+    for (; i < n; ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+void
+axpyNeon(float a, const float *x, float *y, std::size_t n)
+{
+    // Explicit mul + add (not vfmaq): bit-identical to the scalar loop.
+    const float32x4_t va = vdupq_n_f32(a);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t prod = vmulq_f32(va, vld1q_f32(x + i));
+        vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), prod));
+    }
+    axpyScalar(a, x + i, y + i, n - i);
+}
+
+float
+maxReduceNeon(const float *v, std::size_t n)
+{
+    std::size_t i = 0;
+    float best;
+    if (n >= 4) {
+        float32x4_t acc = vld1q_f32(v);
+        for (i = 4; i + 4 <= n; i += 4)
+            acc = vmaxq_f32(acc, vld1q_f32(v + i));
+        best = vmaxvq_f32(acc);
+    } else {
+        best = maxReduceScalar(v, 0);  // -inf seed
+    }
+    for (; i < n; ++i)
+        best = best < v[i] ? v[i] : best;
+    return best;
+}
+
+void
+scaleNeon(float *v, std::size_t n, float factor)
+{
+    const float32x4_t vf = vdupq_n_f32(factor);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        vst1q_f32(v + i, vmulq_f32(vld1q_f32(v + i), vf));
+    scaleScalar(v + i, n - i, factor);
+}
+
+void
+divideByNeon(float *v, std::size_t n, float denom)
+{
+    const float32x4_t vd = vdupq_n_f32(denom);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        vst1q_f32(v + i, vdivq_f32(vld1q_f32(v + i), vd));
+    divideByScalar(v + i, n - i, denom);
+}
+
+void
+gatherDotNeon(const float *mat, std::size_t dims,
+              const std::uint32_t *rows, std::size_t count,
+              const float *q, float *out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotNeon(mat + rows[i] * dims, q, dims);
+}
+
+void
+gatherWeightedSumNeon(const float *mat, std::size_t dims,
+                      const std::uint32_t *rows, std::size_t count,
+                      const float *w, float *out)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const float *row = mat + rows[i] * dims;
+        const float32x4_t vw = vdupq_n_f32(w[i]);
+        std::size_t j = 0;
+        for (; j + 4 <= dims; j += 4) {
+            const float32x4_t prod = vmulq_f32(vw, vld1q_f32(row + j));
+            vst1q_f32(out + j, vaddq_f32(vld1q_f32(out + j), prod));
+        }
+        for (; j < dims; ++j)
+            out[j] += w[i] * row[j];
+    }
+}
+
+}  // namespace
+
+const Kernels *
+neonKernels()
+{
+    static const Kernels table{
+        KernelIsa::Neon, dotNeon,
+        axpyNeon,        maxReduceNeon,
+        kernel_detail::expSumInPlaceScalar,
+        scaleNeon,       divideByNeon,
+        gatherDotNeon,   gatherWeightedSumNeon,
+    };
+    return &table;
+}
+
+}  // namespace a3
+
+#else  // !(__aarch64__ && __ARM_NEON)
+
+namespace a3 {
+
+const Kernels *
+neonKernels()
+{
+    return nullptr;
+}
+
+}  // namespace a3
+
+#endif

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * SSE2 kernel table (x86). SSE2 is part of the x86-64 baseline, so
+ * this TU needs no special flags and serves as the fallback tier when
+ * the CPU lacks AVX2. SSE2 has no FMA, so dot uses mul+add with two
+ * accumulators — still reassociating (tolerance-class) relative to the
+ * scalar kernel. Order-preserving ops share the scalar tail bodies.
+ */
+
+#include "kernels/kernels.hpp"
+
+#include "kernels/kernels_impl.hpp"
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+
+#include <emmintrin.h>
+
+namespace a3 {
+namespace {
+
+using namespace kernel_detail;
+
+float
+hsum128(__m128 v)
+{
+    v = _mm_add_ps(v, _mm_movehl_ps(v, v));
+    v = _mm_add_ss(v, _mm_shuffle_ps(v, v, 0x1));
+    return _mm_cvtss_f32(v);
+}
+
+float
+hmax128(__m128 v)
+{
+    v = _mm_max_ps(v, _mm_movehl_ps(v, v));
+    v = _mm_max_ss(v, _mm_shuffle_ps(v, v, 0x1));
+    return _mm_cvtss_f32(v);
+}
+
+float
+dotSse2(const float *a, const float *b, std::size_t n)
+{
+    __m128 acc0 = _mm_setzero_ps();
+    __m128 acc1 = _mm_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(a + i),
+                                           _mm_loadu_ps(b + i)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(_mm_loadu_ps(a + i + 4),
+                                           _mm_loadu_ps(b + i + 4)));
+    }
+    if (i + 4 <= n) {
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(a + i),
+                                           _mm_loadu_ps(b + i)));
+        i += 4;
+    }
+    float sum = hsum128(_mm_add_ps(acc0, acc1));
+    for (; i < n; ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+void
+axpySse2(float a, const float *x, float *y, std::size_t n)
+{
+    const __m128 va = _mm_set1_ps(a);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 prod = _mm_mul_ps(va, _mm_loadu_ps(x + i));
+        _mm_storeu_ps(y + i, _mm_add_ps(_mm_loadu_ps(y + i), prod));
+    }
+    axpyScalar(a, x + i, y + i, n - i);
+}
+
+float
+maxReduceSse2(const float *v, std::size_t n)
+{
+    std::size_t i = 0;
+    float best;
+    if (n >= 4) {
+        __m128 acc = _mm_loadu_ps(v);
+        for (i = 4; i + 4 <= n; i += 4)
+            acc = _mm_max_ps(acc, _mm_loadu_ps(v + i));
+        best = hmax128(acc);
+    } else {
+        best = maxReduceScalar(v, 0);  // -inf seed
+    }
+    for (; i < n; ++i)
+        best = best < v[i] ? v[i] : best;
+    return best;
+}
+
+void
+scaleSse2(float *v, std::size_t n, float factor)
+{
+    const __m128 vf = _mm_set1_ps(factor);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm_storeu_ps(v + i, _mm_mul_ps(_mm_loadu_ps(v + i), vf));
+    scaleScalar(v + i, n - i, factor);
+}
+
+void
+divideBySse2(float *v, std::size_t n, float denom)
+{
+    const __m128 vd = _mm_set1_ps(denom);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm_storeu_ps(v + i, _mm_div_ps(_mm_loadu_ps(v + i), vd));
+    divideByScalar(v + i, n - i, denom);
+}
+
+void
+gatherDotSse2(const float *mat, std::size_t dims,
+              const std::uint32_t *rows, std::size_t count,
+              const float *q, float *out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotSse2(mat + rows[i] * dims, q, dims);
+}
+
+void
+gatherWeightedSumSse2(const float *mat, std::size_t dims,
+                      const std::uint32_t *rows, std::size_t count,
+                      const float *w, float *out)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const float *row = mat + rows[i] * dims;
+        const __m128 vw = _mm_set1_ps(w[i]);
+        std::size_t j = 0;
+        for (; j + 4 <= dims; j += 4) {
+            const __m128 prod = _mm_mul_ps(vw, _mm_loadu_ps(row + j));
+            _mm_storeu_ps(out + j,
+                          _mm_add_ps(_mm_loadu_ps(out + j), prod));
+        }
+        for (; j < dims; ++j)
+            out[j] += w[i] * row[j];
+    }
+}
+
+}  // namespace
+
+const Kernels *
+sse2Kernels()
+{
+    static const Kernels table{
+        KernelIsa::Sse2, dotSse2,
+        axpySse2,        maxReduceSse2,
+        kernel_detail::expSumInPlaceScalar,
+        scaleSse2,       divideBySse2,
+        gatherDotSse2,   gatherWeightedSumSse2,
+    };
+    return &table;
+}
+
+}  // namespace a3
+
+#else  // !__SSE2__
+
+namespace a3 {
+
+const Kernels *
+sse2Kernels()
+{
+    return nullptr;
+}
+
+}  // namespace a3
+
+#endif
