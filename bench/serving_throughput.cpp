@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Serving-layer throughput sweep, emitted as one JSON object:
+ *
+ *  - "append_vs_rebind": per task size n and backend, the cost of a
+ *    full re-bind (rebuild the sorted key / re-quantize everything)
+ *    against one incremental append() of a single row, with the
+ *    speedup ratio — the number that justifies the streaming path.
+ *  - "session_cache": bind time on a cache miss vs lookup time on a
+ *    hit for the same session, plus the cache's own counters.
+ *  - "scheduler": end-to-end queries/sec of submit + drain over
+ *    multiple sessions through the coalescing BatchScheduler.
+ *
+ * Usage: serving_throughput [out.csv] [--repeats R] [--max-rows N]
+ *   --max-rows N restricts the append sweep to sizes <= N (CI smoke
+ *   runs; the default sweep is {512, 2048, 8192}).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attention/approx_attention.hpp"
+#include "attention/backend.hpp"
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "serving/batch_scheduler.hpp"
+#include "serving/session_cache.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace a3;
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+Matrix
+randomMatrix(Rng &rng, std::size_t n, std::size_t d)
+{
+    Matrix m(n, d);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            m(r, c) = static_cast<float>(rng.normal());
+    return m;
+}
+
+struct AppendRow
+{
+    std::string backend;
+    std::size_t rows = 0;
+    std::size_t dims = 0;
+    double rebindSeconds = 0.0;
+    double appendRowSeconds = 0.0;
+    /** rebind / append: how much the incremental path saves. */
+    double speedupAppendVsRebind = 0.0;
+    std::size_t repeats = 0;
+};
+
+AppendRow
+measureAppend(const EngineConfig &config, std::size_t n, std::size_t d,
+              std::size_t repeats)
+{
+    Rng rng(bench::benchSeed);
+    const Matrix key = randomMatrix(rng, n, d);
+    const Matrix value = randomMatrix(rng, n, d);
+
+    // Full re-bind: preprocessing runs from scratch every time.
+    RunningStat rebind;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double start = now();
+        const auto backend = makeBackend(config, key, value);
+        rebind.add(now() - start);
+        if (backend->rows() != n)
+            fatal("bind dropped rows");
+    }
+
+    // Incremental: one row per append against a live backend. The
+    // task grows by `repeats` rows over the measurement — negligible
+    // against n, and it only biases the result against append().
+    const auto backend = makeBackend(config, key, value);
+    RunningStat append;
+    Rng rowRng(bench::benchSeed + 1);
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const Matrix keyRow = randomMatrix(rowRng, 1, d);
+        const Matrix valueRow = randomMatrix(rowRng, 1, d);
+        const double start = now();
+        backend->append(keyRow, valueRow);
+        append.add(now() - start);
+    }
+    if (backend->rows() != n + repeats)
+        fatal("append dropped rows");
+
+    AppendRow row;
+    row.backend = backend->name();
+    row.rows = n;
+    row.dims = d;
+    row.rebindSeconds = rebind.mean();
+    row.appendRowSeconds = append.mean();
+    row.speedupAppendVsRebind =
+        append.mean() > 0.0 ? rebind.mean() / append.mean() : 0.0;
+    row.repeats = repeats;
+    return row;
+}
+
+struct CacheRow
+{
+    std::size_t sessions = 0;
+    std::size_t rows = 0;
+    double missBindSeconds = 0.0;
+    double hitLookupSeconds = 0.0;
+    double speedupHitVsMiss = 0.0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+CacheRow
+measureCache(std::size_t sessions, std::size_t n, std::size_t d,
+             std::size_t repeats)
+{
+    Rng rng(bench::benchSeed + 2);
+    EngineConfig config;
+    config.kind = EngineKind::ApproxFloat;
+    SessionCache cache;
+
+    std::vector<Matrix> keys;
+    std::vector<Matrix> values;
+    for (std::size_t s = 0; s < sessions; ++s) {
+        keys.push_back(randomMatrix(rng, n, d));
+        values.push_back(randomMatrix(rng, n, d));
+    }
+
+    RunningStat miss;
+    for (std::size_t s = 0; s < sessions; ++s) {
+        const double start = now();
+        cache.bind("session-" + std::to_string(s), config, keys[s],
+                   values[s]);
+        miss.add(now() - start);
+    }
+    // Hit path as a hot serving loop runs it: find() first, so the
+    // matrices are never copied (bind()'s by-value parameters would
+    // charge a full task copy to every timed hit).
+    RunningStat hit;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        for (std::size_t s = 0; s < sessions; ++s) {
+            const std::string id = "session-" + std::to_string(s);
+            const double start = now();
+            const auto backend = cache.find(id);
+            hit.add(now() - start);
+            if (backend == nullptr)
+                fatal("cache lost a session");
+        }
+    }
+
+    CacheRow row;
+    row.sessions = sessions;
+    row.rows = n;
+    row.missBindSeconds = miss.mean();
+    row.hitLookupSeconds = hit.mean();
+    row.speedupHitVsMiss =
+        hit.mean() > 0.0 ? miss.mean() / hit.mean() : 0.0;
+    row.hits = cache.stats().hits;
+    row.misses = cache.stats().misses;
+    return row;
+}
+
+struct SchedulerRow
+{
+    std::size_t sessions = 0;
+    std::size_t queriesPerSession = 0;
+    std::size_t threads = 0;
+    double queriesPerSecond = 0.0;
+    std::size_t repeats = 0;
+};
+
+SchedulerRow
+measureScheduler(std::size_t sessions, std::size_t queriesPerSession,
+                 std::size_t threads, std::size_t n, std::size_t d,
+                 std::size_t repeats)
+{
+    Rng rng(bench::benchSeed + 3);
+    EngineConfig config;
+    config.kind = EngineKind::ApproxFloat;
+    AttentionEngine engine(threads);
+    SessionCache cache;
+    BatchScheduler scheduler(engine, cache);
+    for (std::size_t s = 0; s < sessions; ++s) {
+        cache.bind("session-" + std::to_string(s), config,
+                   randomMatrix(rng, n, d), randomMatrix(rng, n, d));
+    }
+    std::vector<Vector> queries(sessions * queriesPerSession);
+    for (auto &q : queries) {
+        q.resize(d);
+        for (auto &x : q)
+            x = static_cast<float>(rng.normal());
+    }
+
+    const auto submitAll = [&] {
+        std::size_t i = 0;
+        for (std::size_t q = 0; q < queriesPerSession; ++q)
+            for (std::size_t s = 0; s < sessions; ++s)
+                scheduler.submit("session-" + std::to_string(s),
+                                 queries[i++]);
+    };
+    // Warm-up drain spins the pool up and grows the scratch arenas.
+    submitAll();
+    if (scheduler.drain().size() != queries.size())
+        fatal("scheduler dropped requests");
+
+    RunningStat batchSeconds;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        submitAll();
+        const double start = now();
+        const auto completions = scheduler.drain();
+        batchSeconds.add(now() - start);
+        if (completions.size() != queries.size())
+            fatal("scheduler dropped requests");
+    }
+
+    SchedulerRow row;
+    row.sessions = sessions;
+    row.queriesPerSession = queriesPerSession;
+    row.threads = threads;
+    row.queriesPerSecond =
+        static_cast<double>(queries.size()) / batchSeconds.min();
+    row.repeats = repeats;
+    return row;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string csvPath;
+    std::size_t repeats = 20;
+    std::size_t maxRows = 8192;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--repeats") == 0) {
+            if (i + 1 >= argc)
+                fatal("--repeats needs a value");
+            const long parsed = std::atol(argv[++i]);
+            if (parsed <= 0)
+                fatal("--repeats must be a positive integer, got \"",
+                      argv[i], "\"");
+            repeats = static_cast<std::size_t>(parsed);
+        } else if (std::strcmp(argv[i], "--max-rows") == 0) {
+            if (i + 1 >= argc)
+                fatal("--max-rows needs a value");
+            const long parsed = std::atol(argv[++i]);
+            if (parsed <= 0)
+                fatal("--max-rows must be a positive integer, got \"",
+                      argv[i], "\"");
+            maxRows = static_cast<std::size_t>(parsed);
+        } else {
+            csvPath = argv[i];
+        }
+    }
+
+    const std::size_t d = 64;
+
+    // --- Incremental binding vs full re-bind.
+    std::vector<AppendRow> appendRows;
+    for (const std::size_t n : {std::size_t{512}, std::size_t{2048},
+                                std::size_t{8192}}) {
+        if (n > maxRows)
+            continue;
+        for (const EngineKind kind :
+             {EngineKind::ApproxFloat, EngineKind::ExactQuantized}) {
+            EngineConfig config;
+            config.kind = kind;
+            appendRows.push_back(
+                measureAppend(config, n, d, repeats));
+        }
+    }
+
+    // --- Session cache hit vs miss.
+    const CacheRow cacheRow = measureCache(8, 2048, d, repeats);
+
+    // --- Scheduler throughput.
+    const std::size_t hw = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+    std::vector<SchedulerRow> schedulerRows;
+    schedulerRows.push_back(
+        measureScheduler(4, 64, 1, 320, d, repeats));
+    if (hw > 1) {
+        schedulerRows.push_back(
+            measureScheduler(4, 64, hw, 320, d, repeats));
+    }
+
+    std::printf("{\n  \"append_vs_rebind\": [\n");
+    for (std::size_t i = 0; i < appendRows.size(); ++i) {
+        const AppendRow &r = appendRows[i];
+        std::printf("    {\"backend\": \"%s\", \"rows\": %zu, "
+                    "\"dims\": %zu, \"rebind_seconds\": %.3e, "
+                    "\"append_row_seconds\": %.3e, "
+                    "\"speedup_append_vs_rebind\": %.1f, "
+                    "\"repeats\": %zu}%s\n",
+                    r.backend.c_str(), r.rows, r.dims, r.rebindSeconds,
+                    r.appendRowSeconds, r.speedupAppendVsRebind,
+                    r.repeats, i + 1 < appendRows.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"session_cache\": [\n");
+    std::printf("    {\"sessions\": %zu, \"rows\": %zu, "
+                "\"miss_bind_seconds\": %.3e, "
+                "\"hit_lookup_seconds\": %.3e, "
+                "\"speedup_hit_vs_miss\": %.1f, "
+                "\"hits\": %llu, \"misses\": %llu}\n",
+                cacheRow.sessions, cacheRow.rows,
+                cacheRow.missBindSeconds, cacheRow.hitLookupSeconds,
+                cacheRow.speedupHitVsMiss,
+                static_cast<unsigned long long>(cacheRow.hits),
+                static_cast<unsigned long long>(cacheRow.misses));
+    std::printf("  ],\n  \"scheduler\": [\n");
+    for (std::size_t i = 0; i < schedulerRows.size(); ++i) {
+        const SchedulerRow &r = schedulerRows[i];
+        std::printf("    {\"sessions\": %zu, "
+                    "\"queries_per_session\": %zu, \"threads\": %zu, "
+                    "\"queries_per_second\": %.1f, \"repeats\": %zu}%s\n",
+                    r.sessions, r.queriesPerSession, r.threads,
+                    r.queriesPerSecond, r.repeats,
+                    i + 1 < schedulerRows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+
+    if (!csvPath.empty()) {
+        CsvWriter csv(csvPath);
+        csv.writeRow({"metric", "backend_or_sessions", "rows",
+                      "baseline_seconds", "fast_seconds", "speedup"});
+        for (const AppendRow &r : appendRows) {
+            csv.writeRow({"append_vs_rebind", r.backend,
+                          std::to_string(r.rows),
+                          std::to_string(r.rebindSeconds),
+                          std::to_string(r.appendRowSeconds),
+                          std::to_string(r.speedupAppendVsRebind)});
+        }
+        csv.writeRow({"session_cache",
+                      std::to_string(cacheRow.sessions),
+                      std::to_string(cacheRow.rows),
+                      std::to_string(cacheRow.missBindSeconds),
+                      std::to_string(cacheRow.hitLookupSeconds),
+                      std::to_string(cacheRow.speedupHitVsMiss)});
+        for (const SchedulerRow &r : schedulerRows) {
+            csv.writeRow({"scheduler", std::to_string(r.sessions),
+                          std::to_string(r.queriesPerSession),
+                          std::to_string(r.threads), "",
+                          std::to_string(r.queriesPerSecond)});
+        }
+    }
+    return 0;
+}

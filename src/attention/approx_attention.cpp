@@ -24,6 +24,29 @@ ApproxAttention::ApproxAttention(Matrix key, Matrix value,
     Scratch::forThread().reserveTask(key_.rows(), key_.cols());
 }
 
+void
+ApproxAttention::append(const Matrix &keyRows, const Matrix &valueRows)
+{
+    a3Assert(keyRows.rows() == valueRows.rows() &&
+                 keyRows.cols() == valueRows.cols(),
+             "appended key/value shape mismatch");
+    a3Assert(keyRows.cols() == key_.cols(),
+             "appended rows must match the task dimension");
+    const auto firstRowId = static_cast<std::uint32_t>(key_.rows());
+    key_.appendRows(keyRows);
+    value_.appendRows(valueRows);
+    if (config_.candidateSelection)
+        sorted_.append(keyRows, firstRowId);
+    Scratch::forThread().reserveTask(key_.rows(), key_.cols());
+}
+
+std::size_t
+ApproxAttention::memoryBytes() const
+{
+    return (key_.data().size() + value_.data().size()) * sizeof(float) +
+           sorted_.storageBytes();
+}
+
 CandidateSearchResult
 ApproxAttention::selectCandidates(const Vector &query) const
 {

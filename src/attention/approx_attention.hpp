@@ -43,6 +43,18 @@ class ApproxAttention final : public AttentionBackend
     void runInto(const Vector &query,
                  AttentionResult &out) const override;
 
+    /**
+     * Incremental task extension: the new rows are merged into the
+     * column-sorted key instead of rebuilding it (see SortedKey::
+     * append), so the per-update cost is O(d n) rather than the
+     * O(d n log n) full re-sort.
+     */
+    void append(const Matrix &keyRows,
+                const Matrix &valueRows) override;
+
+    /** Float matrices plus the sorted-key SRAM of Section IV-A. */
+    std::size_t memoryBytes() const override;
+
     /** Candidate search only (exposed for Figure 11 sweeps). */
     CandidateSearchResult selectCandidates(const Vector &query) const;
 

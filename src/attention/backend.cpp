@@ -50,6 +50,25 @@ ReferenceAttention::runInto(const Vector &query,
                         scratch);
 }
 
+void
+ReferenceAttention::append(const Matrix &keyRows, const Matrix &valueRows)
+{
+    a3Assert(keyRows.rows() == valueRows.rows() &&
+                 keyRows.cols() == valueRows.cols(),
+             "appended key/value shape mismatch");
+    a3Assert(keyRows.cols() == key_.cols(),
+             "appended rows must match the task dimension");
+    key_.appendRows(keyRows);
+    value_.appendRows(valueRows);
+    Scratch::forThread().reserveTask(key_.rows(), key_.cols());
+}
+
+std::size_t
+ReferenceAttention::memoryBytes() const
+{
+    return (key_.data().size() + value_.data().size()) * sizeof(float);
+}
+
 ApproxQuantizedAttention::ApproxQuantizedAttention(Matrix key,
                                                    Matrix value,
                                                    ApproxConfig approx,
@@ -63,6 +82,20 @@ ApproxQuantizedAttention::ApproxQuantizedAttention(Matrix key,
 }
 
 ApproxQuantizedAttention::~ApproxQuantizedAttention() = default;
+
+void
+ApproxQuantizedAttention::append(const Matrix &keyRows,
+                                 const Matrix &valueRows)
+{
+    approx_->append(keyRows, valueRows);
+    datapath_->append(keyRows, valueRows);
+}
+
+std::size_t
+ApproxQuantizedAttention::memoryBytes() const
+{
+    return approx_->memoryBytes() + datapath_->memoryBytes();
+}
 
 std::size_t
 ApproxQuantizedAttention::rows() const
@@ -104,9 +137,40 @@ ApproxQuantizedAttention::runInto(const Vector &query,
     out.iterations = iterations;
 }
 
+namespace {
+
+/**
+ * Quantized kinds only: reject bit widths before they reach the
+ * datapath. An input word carries intBits + fracBits + 1 bits (sign
+ * included) and is stored in the backend's int32 SRAM lanes, so
+ * anything wider than 32 would silently truncate downstream.
+ */
+void
+validateQuantizedBits(const EngineConfig &config)
+{
+    if (config.intBits <= 0 || config.fracBits <= 0) {
+        fatal("EngineConfig: intBits and fracBits must be positive, "
+              "got intBits=", config.intBits, " fracBits=",
+              config.fracBits);
+    }
+    const int total = config.intBits + config.fracBits + 1;
+    if (total > 32) {
+        fatal("EngineConfig: input word needs intBits + fracBits + 1 = ",
+              total, " bits, exceeding the 32-bit lane budget "
+              "(intBits=", config.intBits, ", fracBits=",
+              config.fracBits, ")");
+    }
+}
+
+}  // namespace
+
 std::unique_ptr<AttentionBackend>
 makeBackend(const EngineConfig &config, Matrix key, Matrix value)
 {
+    if (config.kind == EngineKind::ExactQuantized ||
+        config.kind == EngineKind::ApproxQuantized) {
+        validateQuantizedBits(config);
+    }
     switch (config.kind) {
       case EngineKind::ExactFloat:
         return std::make_unique<ReferenceAttention>(std::move(key),

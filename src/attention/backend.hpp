@@ -75,6 +75,28 @@ class AttentionBackend
     virtual void runInto(const Vector &query,
                          AttentionResult &out) const = 0;
 
+    /**
+     * Extend the bound task with k additional key/value rows (a
+     * streamed context update: new sentences of a story, new tokens of
+     * a conversation). The appended rows take row ids
+     * rows()..rows()+k-1 and the preprocessed state is updated
+     * incrementally — SortedKey merges the new rows into its
+     * per-column orders, QuantizedAttention quantizes only the
+     * appended rows — so the cost is far below a full re-bind, yet
+     * subsequent queries are bit-identical to a backend freshly bound
+     * to the concatenated matrices. Not thread-safe: callers must
+     * ensure no queries are in flight against this backend.
+     */
+    virtual void append(const Matrix &keyRows,
+                        const Matrix &valueRows) = 0;
+
+    /**
+     * Bytes of preprocessed task state this backend retains (float
+     * matrices, sorted-key SRAM, quantized lanes) — what a
+     * SessionCache charges against its byte budget.
+     */
+    virtual std::size_t memoryBytes() const = 0;
+
     /** Rows n of the bound task. */
     virtual std::size_t rows() const = 0;
 
@@ -101,7 +123,12 @@ struct EngineConfig
     /** Approximation knobs (Approx kinds only). */
     ApproxConfig approx = ApproxConfig::conservative();
 
-    /** Input quantization (Quantized kinds only). */
+    /**
+     * Input quantization (Quantized kinds only). makeBackend()
+     * rejects non-positive widths and totals whose input word
+     * (intBits + fracBits + 1 sign bit) exceeds the backend's 32-bit
+     * SRAM lanes.
+     */
     int intBits = 4;
     int fracBits = 4;
 };
@@ -119,6 +146,9 @@ class ReferenceAttention final : public AttentionBackend
     std::string name() const override { return "reference"; }
     void runInto(const Vector &query,
                  AttentionResult &out) const override;
+    void append(const Matrix &keyRows,
+                const Matrix &valueRows) override;
+    std::size_t memoryBytes() const override;
     std::size_t rows() const override { return key_.rows(); }
     std::size_t dims() const override { return key_.cols(); }
 
@@ -152,6 +182,9 @@ class ApproxQuantizedAttention final : public AttentionBackend
     std::string name() const override { return "approx-quantized"; }
     void runInto(const Vector &query,
                  AttentionResult &out) const override;
+    void append(const Matrix &keyRows,
+                const Matrix &valueRows) override;
+    std::size_t memoryBytes() const override;
     std::size_t rows() const override;
     std::size_t dims() const override;
 

@@ -11,12 +11,13 @@ namespace a3 {
 std::size_t
 ApproxConfig::iterationsFor(std::size_t n) const
 {
+    a3Assert(n > 0, "iterationsFor needs a non-empty task");
     if (mAbsolute > 0)
-        return mAbsolute;
+        return std::min(mAbsolute, n);
     a3Assert(mFraction > 0.0, "mFraction must be positive");
     const auto m = static_cast<std::size_t>(
         mFraction * static_cast<double>(n));
-    return std::max<std::size_t>(m, 1);
+    return std::clamp<std::size_t>(m, 1, n);
 }
 
 double

@@ -41,7 +41,12 @@ struct ApproxConfig
     /** Min-queue skip heuristic (Section IV-C, last paragraph). */
     bool skipHeuristic = true;
 
-    /** Iteration count M for a task with n rows (at least 1). */
+    /**
+     * Iteration count M for a task with n rows, clamped to [1, n]: the
+     * paper sweeps M only up to n, and an mAbsolute (or mFraction)
+     * exceeding the row count would drive the greedy search past the
+     * row count for no accuracy gain.
+     */
     std::size_t iterationsFor(std::size_t n) const;
 
     /** Score-gap threshold t = ln(100 / T). */

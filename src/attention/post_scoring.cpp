@@ -10,15 +10,14 @@ namespace a3 {
 double
 thresholdFromPercent(double tPercent)
 {
-    a3Assert(tPercent > 0.0 && tPercent <= 100.0,
-             "post-scoring T must lie in (0, 100], got ", tPercent);
+    a3Assert(tPercent > 0.0,
+             "post-scoring T must be positive, got ", tPercent);
     return std::log(100.0 / tPercent);
 }
 
 double
 percentFromThreshold(double t)
 {
-    a3Assert(t >= 0.0, "post-scoring threshold t must be non-negative");
     return 100.0 * std::exp(-t);
 }
 
@@ -39,7 +38,6 @@ postScoringSelectInto(std::span<const std::uint32_t> rows,
 {
     a3Assert(rows.size() == scores.size(),
              "post-scoring rows/scores size mismatch");
-    a3Assert(scoreGap >= 0.0, "post-scoring gap must be non-negative");
     kept.clear();
     if (rows.empty())
         return;
@@ -53,6 +51,23 @@ postScoringSelectInto(std::span<const std::uint32_t> rows,
             kept.push_back(rows[i]);
         }
     }
+    if (!kept.empty())
+        return;
+
+    // An over-aggressive threshold (T > 100% gives a negative gap no
+    // row can satisfy) or non-finite scores (inf - inf and NaN fail
+    // the comparison even for the max row itself) would otherwise hand
+    // an empty subset to softmax. Degrade to the single top-scoring
+    // candidate, first-of-equals, never preferring a NaN score over an
+    // ordered one; with every score NaN the first candidate stands in.
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        if (scores[i] > scores[top] ||
+            (std::isnan(scores[top]) && !std::isnan(scores[i]))) {
+            top = i;
+        }
+    }
+    kept.push_back(rows[top]);
 }
 
 }  // namespace a3

@@ -22,7 +22,12 @@
 
 namespace a3 {
 
-/** Convert the paper's T (percent of max weight) to the score gap t. */
+/**
+ * Convert the paper's T (percent of max weight) to the score gap t.
+ * T must be positive; T > 100 yields a negative gap that no row can
+ * satisfy, which the selection resolves by keeping only the top-scoring
+ * candidate.
+ */
 double thresholdFromPercent(double tPercent);
 
 /** Convert a score gap t back to the paper's T in percent. */
@@ -30,6 +35,10 @@ double percentFromThreshold(double t);
 
 /**
  * Keep the rows whose score is within `scoreGap` of the maximum score.
+ * For a non-empty input the result is never empty: when the gap test
+ * rejects every row (negative gap from T > 100, or non-finite scores
+ * whose comparisons all fail), the top-scoring candidate survives
+ * alone so the downstream softmax stays well-defined.
  *
  * @param rows candidate row ids, parallel to `scores`.
  * @param scores exact dot-product score per candidate.

@@ -53,6 +53,46 @@ QuantizedAttention::rows() const
 }
 
 void
+QuantizedAttention::append(const Matrix &keyRows, const Matrix &valueRows)
+{
+    a3Assert(bound_, "append() needs a bound task; use the "
+                     "(key, value, intBits, fracBits) constructor");
+    a3Assert(keyRows.rows() == valueRows.rows() &&
+                 keyRows.cols() == valueRows.cols(),
+             "appended key/value shape mismatch");
+    a3Assert(keyRows.cols() == dims_,
+             "appended rows must match the task dimension");
+    const std::size_t k = keyRows.rows();
+    if (k == 0)
+        return;
+
+    const FixedFormat inFmt = formats_.input;
+    keyQ_.reserve(keyQ_.size() + k * dims_);
+    valueQ_.reserve(valueQ_.size() + k * dims_);
+    for (std::size_t i = 0; i < k * dims_; ++i) {
+        keyQ_.push_back(static_cast<std::int32_t>(
+            inFmt.quantize(keyRows.data()[i])));
+        valueQ_.push_back(static_cast<std::int32_t>(
+            inFmt.quantize(valueRows.data()[i])));
+    }
+    boundRows_ += k;
+    maxRows_ = boundRows_;
+    // Re-derive the stage widths for the grown n: only the expSum and
+    // output capacity annotations change — every fraction width stays,
+    // so existing words and future results are unaffected beyond the
+    // larger legal range.
+    formats_ = PipelineFormats::derive(inFmt.intBits, inFmt.fracBits,
+                                       boundRows_, dims_);
+    Scratch::forThread().reserveTask(boundRows_, dims_);
+}
+
+std::size_t
+QuantizedAttention::memoryBytes() const
+{
+    return (keyQ_.size() + valueQ_.size()) * sizeof(std::int32_t);
+}
+
+void
 QuantizedAttention::runInto(const Vector &query,
                             AttentionResult &out) const
 {

@@ -57,6 +57,21 @@ class QuantizedAttention final : public AttentionBackend
                  AttentionResult &out) const override;
 
     /**
+     * Incremental task extension (bound mode only): only the appended
+     * rows are quantized — the cached words of the existing rows are
+     * untouched — and the stage formats are re-derived for the grown
+     * row count. Quantization is deterministic and only the capacity
+     * annotations (expSum, output integer bits) depend on n, so
+     * queries after append are bit-identical to a fresh bind of the
+     * concatenated task.
+     */
+    void append(const Matrix &keyRows,
+                const Matrix &valueRows) override;
+
+    /** Bytes of the quantized key/value SRAM lanes (0 when unbound). */
+    std::size_t memoryBytes() const override;
+
+    /**
      * Bound mode: run the pipeline over a row subset, reusing `out`'s
      * buffers and the calling thread's Scratch — the allocation-free
      * path the approximate flow feeds after selection. `rows` may

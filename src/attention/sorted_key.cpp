@@ -37,6 +37,44 @@ SortedKey::build(const Matrix &key)
     return sk;
 }
 
+void
+SortedKey::append(const Matrix &newRows, std::uint32_t firstRowId)
+{
+    a3Assert(newRows.cols() == cols_,
+             "sorted-key append width mismatch: ", newRows.cols(),
+             " vs ", cols_);
+    a3Assert(firstRowId == rows_,
+             "sorted-key append must continue the row ids: got ",
+             firstRowId, ", expected ", rows_);
+    const std::size_t k = newRows.rows();
+    if (k == 0)
+        return;
+    // The (val, rowId) comparator gives a unique total order (row ids
+    // are distinct), so sorting the new tail and merging it with the
+    // already-sorted column reproduces exactly what build() would
+    // produce over the concatenated matrix.
+    const auto less = [](const SortedKeyEntry &a,
+                         const SortedKeyEntry &b) {
+        if (a.val != b.val)
+            return a.val < b.val;
+        return a.rowId < b.rowId;
+    };
+    for (std::size_t c = 0; c < cols_; ++c) {
+        auto &column = columns_[c];
+        const auto oldSize = static_cast<std::ptrdiff_t>(column.size());
+        column.reserve(column.size() + k);
+        for (std::size_t i = 0; i < k; ++i) {
+            column.push_back(
+                {newRows(i, c),
+                 firstRowId + static_cast<std::uint32_t>(i)});
+        }
+        std::sort(column.begin() + oldSize, column.end(), less);
+        std::inplace_merge(column.begin(), column.begin() + oldSize,
+                           column.end(), less);
+    }
+    rows_ += k;
+}
+
 const SortedKeyEntry &
 SortedKey::at(std::size_t pos, std::size_t col) const
 {

@@ -40,6 +40,17 @@ class SortedKey
      */
     static SortedKey build(const Matrix &key);
 
+    /**
+     * Insert k new rows — rows firstRowId .. firstRowId + k - 1 of the
+     * grown task — into every column's sorted order. Bit-identical to
+     * rebuilding from the concatenated key matrix (the (val, rowId)
+     * ordering is unique, so merging reproduces the full sort), but
+     * costs one O(n + k log k) merge per column instead of the
+     * O((n + k) log(n + k)) sort of build() — the incremental-binding
+     * fast path of the serving layer. `firstRowId` must equal rows().
+     */
+    void append(const Matrix &newRows, std::uint32_t firstRowId);
+
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
 

@@ -51,6 +51,16 @@ std::vector<std::vector<AttentionResult>>
 AttentionEngine::runGroups(
     const std::vector<AttentionRequestGroup> &groups) const
 {
+    std::vector<std::vector<AttentionResult>> results;
+    runGroupsInto(groups, results);
+    return results;
+}
+
+void
+AttentionEngine::runGroupsInto(
+    const std::vector<AttentionRequestGroup> &groups,
+    std::vector<std::vector<AttentionResult>> &results) const
+{
     // Flatten all (group, query) pairs into one work list so the lanes
     // stay busy across group boundaries.
     struct WorkItem
@@ -59,7 +69,7 @@ AttentionEngine::runGroups(
         std::size_t query;
     };
     std::vector<WorkItem> work;
-    std::vector<std::vector<AttentionResult>> results(groups.size());
+    results.resize(groups.size());
     for (std::size_t g = 0; g < groups.size(); ++g) {
         a3Assert(groups[g].backend != nullptr,
                  "request group ", g, " has no backend");
@@ -73,7 +83,6 @@ AttentionEngine::runGroups(
         group.backend->runInto(group.queries[item.query],
                                results[item.group][item.query]);
     });
-    return results;
 }
 
 SelfAttentionResult

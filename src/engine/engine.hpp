@@ -86,6 +86,16 @@ class AttentionEngine
     runGroups(const std::vector<AttentionRequestGroup> &groups) const;
 
     /**
+     * Buffer-reusing variant of runGroups(): answers into `results`,
+     * resizing it to groups.size() and reusing every slot's buffers —
+     * the steady-state path of the serving BatchScheduler, which keeps
+     * one results vector across drains.
+     */
+    void runGroupsInto(
+        const std::vector<AttentionRequestGroup> &groups,
+        std::vector<std::vector<AttentionResult>> &results) const;
+
+    /**
      * Batched self-attention: preprocess (key, value) once, then
      * answer one query per row of `queries` in parallel (Section IV-A
      * amortization). Equivalent to — and bit-identical with — the

@@ -1,0 +1,109 @@
+#include "serving/batch_scheduler.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+BatchScheduler::BatchScheduler(AttentionEngine &engine,
+                               SessionCache &cache, std::size_t maxBatch)
+    : engine_(engine), cache_(cache), maxBatch_(maxBatch)
+{
+}
+
+std::uint64_t
+BatchScheduler::submit(const std::string &session, Vector query)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t ticket = nextTicket_++;
+    queue_.push_back({ticket, session, std::move(query)});
+    return ticket;
+}
+
+std::size_t
+BatchScheduler::pending() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::vector<ServingResult>
+BatchScheduler::drain()
+{
+    // Claim this drain's share of the queue. Tickets are assigned
+    // under the same lock, so the claimed slice is ticket-ordered.
+    std::vector<PendingRequest> batch;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::size_t take =
+            maxBatch_ == 0 ? queue_.size()
+                           : std::min(maxBatch_, queue_.size());
+        batch.reserve(take);
+        std::move(queue_.begin(),
+                  queue_.begin() + static_cast<std::ptrdiff_t>(take),
+                  std::back_inserter(batch));
+        queue_.erase(queue_.begin(),
+                     queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    if (batch.empty())
+        return {};
+
+    // Coalesce per session: one request group per distinct session,
+    // groups ordered by each session's first ticket, queries in
+    // ticket order within their group. The shared_ptrs pin every
+    // backend for the duration of the pass even if the cache evicts
+    // the session concurrently.
+    std::vector<AttentionRequestGroup> groups;
+    std::vector<std::shared_ptr<AttentionBackend>> pinned;
+    std::vector<std::string> sessionOf;
+    std::vector<std::vector<std::uint64_t>> ticketsOf;
+    std::unordered_map<std::string, std::size_t> groupIndex;
+    for (PendingRequest &request : batch) {
+        const auto found = groupIndex.find(request.session);
+        std::size_t g =
+            found == groupIndex.end() ? sessionOf.size() : found->second;
+        if (g == sessionOf.size()) {
+            groupIndex.emplace(request.session, g);
+            std::shared_ptr<AttentionBackend> backend =
+                cache_.find(request.session);
+            if (backend == nullptr) {
+                fatal("BatchScheduler: session \"", request.session,
+                      "\" is not bound in the cache (bind it, or "
+                      "re-bind after eviction, before draining)");
+            }
+            sessionOf.push_back(request.session);
+            ticketsOf.emplace_back();
+            groups.push_back({backend.get(), {}});
+            pinned.push_back(std::move(backend));
+        }
+        groups[g].queries.push_back(std::move(request.query));
+        ticketsOf[g].push_back(request.ticket);
+    }
+
+    // Local results: each drain owns its buffers, so concurrent
+    // drain() calls from different worker threads never share state
+    // (the claimed queue slices are already disjoint).
+    std::vector<std::vector<AttentionResult>> groupResults;
+    engine_.runGroupsInto(groups, groupResults);
+
+    std::vector<ServingResult> completions;
+    completions.reserve(batch.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (std::size_t q = 0; q < ticketsOf[g].size(); ++q) {
+            completions.push_back({ticketsOf[g][q], sessionOf[g],
+                                   std::move(groupResults[g][q])});
+        }
+    }
+    std::sort(completions.begin(), completions.end(),
+              [](const ServingResult &a, const ServingResult &b) {
+                  return a.ticket < b.ticket;
+              });
+    return completions;
+}
+
+}  // namespace a3

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Request coalescing for the streaming serving layer.
+ *
+ * Clients submit (session, query) requests from any thread; each gets
+ * a monotonically increasing ticket. drain() coalesces the pending
+ * requests of each session into one AttentionRequestGroup — so every
+ * query against the same context shares the preprocessed backend the
+ * SessionCache holds — and drives AttentionEngine::runGroups over the
+ * groups in one batched, multi-threaded pass.
+ *
+ * Determinism guarantee: drain() returns results sorted by ticket
+ * (i.e. submission order), and every result is bit-identical to a
+ * sequential backend.run(query) — the engine guarantee — regardless
+ * of batch composition, coalescing, cache hits, appends between
+ * drains, or the engine's thread count.
+ */
+
+#ifndef A3_SERVING_BATCH_SCHEDULER_HPP
+#define A3_SERVING_BATCH_SCHEDULER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "attention/types.hpp"
+#include "engine/engine.hpp"
+#include "serving/session_cache.hpp"
+
+namespace a3 {
+
+/** One completed request: its ticket, session, and answer. */
+struct ServingResult
+{
+    std::uint64_t ticket = 0;
+    std::string session;
+    AttentionResult result;
+};
+
+/** Coalescing batch executor over cached per-session backends. */
+class BatchScheduler
+{
+  public:
+    /**
+     * @param engine batched executor driving the passes (borrowed).
+     * @param cache session cache requests resolve against (borrowed).
+     * @param maxBatch cap on requests answered per drain(); 0 = all
+     *        pending. Excess requests stay queued for the next drain.
+     */
+    BatchScheduler(AttentionEngine &engine, SessionCache &cache,
+                   std::size_t maxBatch = 0);
+
+    /**
+     * Enqueue one request against a session and return its ticket.
+     * Thread-safe; tickets increase in submission order. The session
+     * must be bound in the cache by the time drain() runs.
+     */
+    std::uint64_t submit(const std::string &session, Vector query);
+
+    /** Requests currently queued. */
+    std::size_t pending() const;
+
+    /**
+     * Answer up to maxBatch queued requests in one batched engine
+     * pass and return the completions sorted by ticket. Sessions are
+     * looked up in the cache once per drain (holding the backend
+     * alive across any concurrent eviction); an unbound session is a
+     * fatal error naming the session id. Thread-safe: concurrent
+     * drain() calls claim disjoint queue slices and own their result
+     * buffers (each call returns its own slice's completions).
+     */
+    std::vector<ServingResult> drain();
+
+  private:
+    struct PendingRequest
+    {
+        std::uint64_t ticket = 0;
+        std::string session;
+        Vector query;
+    };
+
+    AttentionEngine &engine_;
+    SessionCache &cache_;
+    std::size_t maxBatch_ = 0;
+
+    mutable std::mutex mutex_;
+    std::uint64_t nextTicket_ = 1;
+    std::deque<PendingRequest> queue_;
+};
+
+}  // namespace a3
+
+#endif  // A3_SERVING_BATCH_SCHEDULER_HPP

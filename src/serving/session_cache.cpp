@@ -1,0 +1,173 @@
+#include "serving/session_cache.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+SessionCache::SessionCache(std::size_t byteBudget)
+    : byteBudget_(byteBudget)
+{
+}
+
+void
+SessionCache::touchLocked(Entry &entry)
+{
+    lru_.splice(lru_.begin(), lru_, entry.lruPos);
+}
+
+std::shared_ptr<AttentionBackend>
+SessionCache::find(const std::string &session)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(session);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    touchLocked(it->second);
+    return it->second.backend;
+}
+
+std::shared_ptr<AttentionBackend>
+SessionCache::bind(const std::string &session, const EngineConfig &config,
+                   Matrix key, Matrix value)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(session);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            touchLocked(it->second);
+            return it->second.backend;
+        }
+        ++stats_.misses;
+    }
+    // Preprocess outside the lock: binding is the expensive step and
+    // other sessions should keep hitting while it runs. A concurrent
+    // bind of the same id is resolved by insertLocked (last wins).
+    std::shared_ptr<AttentionBackend> backend =
+        makeBackend(config, std::move(key), std::move(value));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return insertLocked(session, std::move(backend));
+}
+
+std::shared_ptr<AttentionBackend>
+SessionCache::insert(const std::string &session,
+                     std::shared_ptr<AttentionBackend> backend)
+{
+    a3Assert(backend != nullptr, "cannot insert a null backend");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return insertLocked(session, std::move(backend));
+}
+
+std::shared_ptr<AttentionBackend>
+SessionCache::insertLocked(const std::string &session,
+                           std::shared_ptr<AttentionBackend> backend)
+{
+    const auto it = entries_.find(session);
+    if (it != entries_.end()) {
+        bytesInUse_ -= it->second.bytes;
+        it->second.backend = std::move(backend);
+        it->second.bytes = it->second.backend->memoryBytes();
+        bytesInUse_ += it->second.bytes;
+        touchLocked(it->second);
+        enforceBudgetLocked(session);
+        return it->second.backend;
+    }
+    lru_.push_front(session);
+    Entry entry;
+    entry.backend = std::move(backend);
+    entry.bytes = entry.backend->memoryBytes();
+    entry.lruPos = lru_.begin();
+    bytesInUse_ += entry.bytes;
+    const auto inserted =
+        entries_.emplace(session, std::move(entry)).first;
+    enforceBudgetLocked(session);
+    return inserted->second.backend;
+}
+
+void
+SessionCache::append(const std::string &session, const Matrix &keyRows,
+                     const Matrix &valueRows)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(session);
+    if (it == entries_.end()) {
+        fatal("SessionCache::append: session \"", session,
+              "\" is not bound (bind it before streaming context "
+              "updates)");
+    }
+    Entry &entry = it->second;
+    bytesInUse_ -= entry.bytes;
+    entry.backend->append(keyRows, valueRows);
+    entry.bytes = entry.backend->memoryBytes();
+    bytesInUse_ += entry.bytes;
+    ++stats_.appends;
+    touchLocked(entry);
+    enforceBudgetLocked(session);
+}
+
+void
+SessionCache::enforceBudgetLocked(const std::string &keep)
+{
+    if (byteBudget_ == 0)
+        return;
+    while (bytesInUse_ > byteBudget_ && !lru_.empty() &&
+           lru_.back() != keep) {
+        const auto victim = entries_.find(lru_.back());
+        a3Assert(victim != entries_.end(),
+                 "LRU list out of sync with the entry map");
+        bytesInUse_ -= victim->second.bytes;
+        entries_.erase(victim);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+bool
+SessionCache::erase(const std::string &session)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(session);
+    if (it == entries_.end())
+        return false;
+    bytesInUse_ -= it->second.bytes;
+    lru_.erase(it->second.lruPos);
+    entries_.erase(it);
+    return true;
+}
+
+void
+SessionCache::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+    bytesInUse_ = 0;
+}
+
+std::size_t
+SessionCache::sessionCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t
+SessionCache::bytesInUse() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return bytesInUse_;
+}
+
+SessionCacheStats
+SessionCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace a3

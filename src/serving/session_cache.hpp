@@ -1,0 +1,149 @@
+/**
+ * @file
+ * LRU cache of preprocessed attention backends keyed by session id.
+ *
+ * A deployed QA/BERT service answers many queries against the same
+ * long-lived context — a loaded story, a document, a conversation.
+ * Binding that context into an AttentionBackend is the expensive step
+ * (the column sort of Section IV-A, the quantization of Section III),
+ * which the paper amortizes across queries; the cache is the serving
+ * tier's realization of that amortization. Bound backends stay alive
+ * across requests, the least recently used session is evicted when the
+ * configured byte budget overflows, and hit/miss/eviction counters
+ * make the reuse measurable.
+ *
+ * Thread safety: every member function takes an internal lock, so
+ * concurrent find()/bind()/erase() calls are safe. The backends handed
+ * out are only thread-compatible for const queries; append() must not
+ * race with queries against the same session (see
+ * AttentionBackend::append).
+ */
+
+#ifndef A3_SERVING_SESSION_CACHE_HPP
+#define A3_SERVING_SESSION_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "attention/backend.hpp"
+
+namespace a3 {
+
+/** Monotonic usage counters of one SessionCache. */
+struct SessionCacheStats
+{
+    /** Lookups served from an already-bound backend (no preprocessing). */
+    std::uint64_t hits = 0;
+
+    /** Lookups that found no bound backend. */
+    std::uint64_t misses = 0;
+
+    /** Sessions dropped to fit the byte budget. */
+    std::uint64_t evictions = 0;
+
+    /** Incremental context extensions applied through append(). */
+    std::uint64_t appends = 0;
+};
+
+/** LRU map from session id to a preprocessed, queryable backend. */
+class SessionCache
+{
+  public:
+    /**
+     * @param byteBudget bytes of backend state (memoryBytes() sums)
+     *        the cache may retain; 0 means unlimited. The most
+     *        recently bound session is never evicted, even when it
+     *        alone exceeds the budget — evicting it would make the
+     *        bind that just paid for it useless.
+     */
+    explicit SessionCache(std::size_t byteBudget = 0);
+
+    /**
+     * Backend bound to `session`, or nullptr. A hit refreshes the
+     * session's LRU position and counts in stats().hits; a miss
+     * counts in stats().misses.
+     */
+    std::shared_ptr<AttentionBackend> find(const std::string &session);
+
+    /**
+     * Return the backend bound to `session`, constructing one from
+     * (config, key, value) through makeBackend() on a miss. On a hit
+     * the matrices are ignored and no preprocessing runs — the
+     * skipped work is exactly what stats().hits counts. The matrices
+     * are taken by value, so the call site still pays for building
+     * (or copying) them even on a hit: hot paths should try find()
+     * first and fall back to bind() only on nullptr.
+     */
+    std::shared_ptr<AttentionBackend> bind(const std::string &session,
+                                           const EngineConfig &config,
+                                           Matrix key, Matrix value);
+
+    /**
+     * Insert a pre-built backend, replacing whatever `session` held.
+     * Returns the inserted backend.
+     */
+    std::shared_ptr<AttentionBackend>
+    insert(const std::string &session,
+           std::shared_ptr<AttentionBackend> backend);
+
+    /**
+     * Extend a bound session's context through the backend's
+     * incremental append() and re-charge its bytes against the
+     * budget. The session must be bound (fatal otherwise), and no
+     * queries may be in flight against it.
+     */
+    void append(const std::string &session, const Matrix &keyRows,
+                const Matrix &valueRows);
+
+    /** Drop one session; returns whether it was bound. */
+    bool erase(const std::string &session);
+
+    /** Drop every session (counters are retained). */
+    void clear();
+
+    /** Sessions currently bound. */
+    std::size_t sessionCount() const;
+
+    /** Sum of memoryBytes() over the bound backends. */
+    std::size_t bytesInUse() const;
+
+    /** Configured budget; 0 means unlimited. */
+    std::size_t byteBudget() const { return byteBudget_; }
+
+    /** Snapshot of the usage counters. */
+    SessionCacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<AttentionBackend> backend;
+        std::size_t bytes = 0;
+        std::list<std::string>::iterator lruPos;
+    };
+
+    /** Move `session` (which must exist) to the LRU front. */
+    void touchLocked(Entry &entry);
+
+    /** Evict LRU sessions until the budget holds, sparing `keep`. */
+    void enforceBudgetLocked(const std::string &keep);
+
+    std::shared_ptr<AttentionBackend>
+    insertLocked(const std::string &session,
+                 std::shared_ptr<AttentionBackend> backend);
+
+    mutable std::mutex mutex_;
+    std::size_t byteBudget_ = 0;
+    std::size_t bytesInUse_ = 0;
+    /** Most recently used session at the front. */
+    std::list<std::string> lru_;
+    std::unordered_map<std::string, Entry> entries_;
+    SessionCacheStats stats_;
+};
+
+}  // namespace a3
+
+#endif  // A3_SERVING_SESSION_CACHE_HPP

@@ -26,6 +26,22 @@ Matrix::fromRows(const std::vector<std::vector<float>> &rows)
     return m;
 }
 
+void
+Matrix::appendRows(const Matrix &other)
+{
+    if (other.rows_ == 0)
+        return;
+    if (rows_ == 0 && cols_ == 0) {
+        *this = other;
+        return;
+    }
+    // A zero-row matrix with a declared width still enforces it.
+    a3Assert(other.cols_ == cols_, "appendRows width mismatch: ",
+             other.cols_, " vs ", cols_);
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    rows_ += other.rows_;
+}
+
 float &
 Matrix::at(std::size_t r, std::size_t c)
 {

@@ -33,6 +33,12 @@ class Matrix
     /** Build from nested initializer data; all rows must be equal width. */
     static Matrix fromRows(const std::vector<std::vector<float>> &rows);
 
+    /**
+     * Append the rows of `other` (same width) below the existing rows;
+     * appending to an empty matrix adopts other's shape.
+     */
+    void appendRows(const Matrix &other);
+
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
     bool empty() const { return rows_ == 0 || cols_ == 0; }

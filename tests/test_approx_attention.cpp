@@ -124,7 +124,7 @@ TEST(ApproxAttention, LargeMTinyThresholdApproachesExact)
     Rng rng(4004);
     const RandomTask t = makeTask(rng, 20, 8);
     ApproxConfig cfg;
-    cfg.mAbsolute = 20 * 8;          // cover every product
+    cfg.mAbsolute = 20;              // M = n, the paper's upper sweep
     cfg.thresholdPercent = 1e-9;     // keep everything scored
     cfg.skipHeuristic = false;
     const ApproxAttention engine(t.key, t.value, cfg);
@@ -135,6 +135,61 @@ TEST(ApproxAttention, LargeMTinyThresholdApproachesExact)
     // score; those rows carry small (not exactly zero) weight in the
     // exact result, so allow a modest deviation.
     EXPECT_LT(maxAbsDiff(approx.output, exact.output), 0.1f);
+}
+
+TEST(ApproxConfig, IterationsClampToRowCount)
+{
+    // Regression: an absolute M beyond n used to drive greedy search
+    // past the row count; both paths now clamp to [1, n].
+    ApproxConfig abs;
+    abs.mAbsolute = 1000;
+    EXPECT_EQ(abs.iterationsFor(32), 32u);
+    EXPECT_EQ(abs.iterationsFor(1), 1u);
+    abs.mAbsolute = 7;
+    EXPECT_EQ(abs.iterationsFor(32), 7u);
+
+    ApproxConfig frac;
+    frac.mFraction = 3.0;
+    EXPECT_EQ(frac.iterationsFor(16), 16u);
+    frac.mFraction = 0.01;
+    EXPECT_EQ(frac.iterationsFor(16), 1u);
+}
+
+TEST(ApproxAttention, OverlargeAbsoluteMRunsLikeFullFraction)
+{
+    Rng rng(4007);
+    const RandomTask t = makeTask(rng, 24, 8);
+    ApproxConfig clamped;
+    clamped.mAbsolute = 24 * 100;
+    ApproxConfig full;
+    full.mFraction = 1.0;
+    const ApproxAttention a(t.key, t.value, clamped);
+    const ApproxAttention b(t.key, t.value, full);
+    const AttentionResult ra = a.run(t.query);
+    const AttentionResult rb = b.run(t.query);
+    EXPECT_EQ(ra.iterations, 24u);
+    EXPECT_EQ(ra.output, rb.output);
+    EXPECT_EQ(ra.candidates, rb.candidates);
+    EXPECT_EQ(ra.kept, rb.kept);
+}
+
+TEST(ApproxAttention, ExtremeThresholdDegradesToTopCandidate)
+{
+    // Regression: a post-scoring threshold beyond 100% produces a
+    // negative score gap that rejects every candidate; the flow must
+    // keep the top-scoring one instead of asserting on an empty
+    // softmax subset.
+    Rng rng(4008);
+    const RandomTask t = makeTask(rng, 30, 8);
+    ApproxConfig cfg = ApproxConfig::conservative();
+    cfg.thresholdPercent = 250.0;
+    const ApproxAttention engine(t.key, t.value, cfg);
+    const AttentionResult r = engine.run(t.query);
+    ASSERT_EQ(r.kept.size(), 1u);
+    EXPECT_FLOAT_EQ(r.weights[r.kept[0]], 1.0f);
+    // The survivor is the top-scoring candidate.
+    for (std::uint32_t row : r.candidates)
+        EXPECT_LE(r.scores[row], r.scores[r.kept[0]]);
 }
 
 TEST(ApproxAttention, PlantedRelevantRowSurvivesConservative)

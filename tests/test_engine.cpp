@@ -111,6 +111,63 @@ TEST(ThreadPool, EmptyJobReturnsImmediately)
     EXPECT_FALSE(touched);
 }
 
+// --- Stress shapes, exercised under TSan by the CI sanitizer job. ---
+
+TEST(ThreadPoolStress, RepeatedBackToBackJobs)
+{
+    // Thousands of tiny jobs in a row shake out wake/sleep races
+    // between the generation counter and the condition variables.
+    ThreadPool pool(8);
+    std::atomic<std::uint64_t> total{0};
+    std::uint64_t expected = 0;
+    for (int job = 0; job < 2000; ++job) {
+        const std::size_t count = static_cast<std::size_t>(job % 7);
+        expected += count * (count + 1) / 2;
+        pool.parallelFor(count, [&](std::size_t i) {
+            total.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPoolStress, SingleLanePoolRunsEverythingInline)
+{
+    // A 1-lane pool has no background workers: every index runs on
+    // the calling thread, in order, with no synchronization to race.
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    for (int job = 0; job < 100; ++job) {
+        pool.parallelFor(5, [&](std::size_t i) {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+            order.push_back(i);
+        });
+    }
+    ASSERT_EQ(order.size(), 500u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i % 5);
+}
+
+TEST(ThreadPoolStress, NestedDispatchFromInsideJobs)
+{
+    // Nested parallelFor from inside a job must run inline on the
+    // dispatching lane rather than deadlock on the serialization
+    // lock — repeatedly, from every lane, two levels deep.
+    ThreadPool pool(4);
+    std::atomic<std::size_t> leaves{0};
+    for (int job = 0; job < 50; ++job) {
+        pool.parallelFor(8, [&](std::size_t) {
+            pool.parallelFor(4, [&](std::size_t) {
+                pool.parallelFor(2, [&](std::size_t) {
+                    leaves.fetch_add(1, std::memory_order_relaxed);
+                });
+            });
+        });
+    }
+    EXPECT_EQ(leaves.load(), 50u * 8u * 4u * 2u);
+}
+
 /** All four backends answer through the same polymorphic interface. */
 TEST(AttentionBackend, FactoryCoversEveryKind)
 {

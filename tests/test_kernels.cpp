@@ -71,6 +71,37 @@ operator new[](std::size_t size)
     return countedAlloc(size);
 }
 
+// The nothrow pair must be replaced alongside the throwing forms:
+// std::inplace_merge / std::stable_sort temporary buffers allocate
+// through operator new(size, nothrow), and a half-replaced set would
+// pair the default nothrow new with our free() — an alloc/dealloc
+// mismatch under ASan.
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    g_newCalls.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size != 0 ? size : 1);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    g_newCalls.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size != 0 ? size : 1);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
 void
 operator delete(void *p) noexcept
 {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "attention/post_scoring.hpp"
 #include "attention/reference.hpp"
@@ -58,6 +59,63 @@ TEST(PostScoring, HugeGapKeepsEverything)
 TEST(PostScoring, EmptyInput)
 {
     EXPECT_TRUE(postScoringSelect({}, {}, 1.0).empty());
+}
+
+TEST(PostScoring, NegativeGapFallsBackToTopCandidate)
+{
+    // T > 100% converts to a negative gap that rejects every row,
+    // even the maximum; the selection degrades to the top-scoring
+    // candidate instead of returning an empty set.
+    const std::vector<std::uint32_t> rows{4, 8, 2};
+    const Vector scores{1.0f, 7.0f, 3.0f};
+    const double gap = thresholdFromPercent(400.0);
+    ASSERT_LT(gap, 0.0);
+    EXPECT_EQ(postScoringSelect(rows, scores, gap),
+              (std::vector<std::uint32_t>{8}));
+}
+
+TEST(PostScoring, NonFiniteScoresFallBackToTopCandidate)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+
+    // inf - inf = NaN fails the gap comparison even for the max row;
+    // the first infinite row (first-of-equals top score) survives.
+    EXPECT_EQ(postScoringSelect({0, 1, 2}, {1.0f, inf, inf}, 1.0),
+              (std::vector<std::uint32_t>{1}));
+
+    // All-NaN scores order nothing; the first candidate stands in.
+    EXPECT_EQ(postScoringSelect({5, 6}, {nan, nan}, 1.0),
+              (std::vector<std::uint32_t>{5}));
+
+    // A NaN-scored candidate never beats an ordered score, even when
+    // it comes first.
+    EXPECT_EQ(postScoringSelect({3, 9}, {nan, 5.0f}, 1.0),
+              (std::vector<std::uint32_t>{9}));
+    EXPECT_EQ(postScoringSelect({3, 9, 4}, {nan, 5.0f, 7.0f},
+                                thresholdFromPercent(400.0)),
+              (std::vector<std::uint32_t>{4}));
+}
+
+TEST(PostScoring, ExtremeThresholdsNeverEmptyNonEmptyInput)
+{
+    Rng rng(3200);
+    for (const double tPercent : {1e-12, 1.0, 100.0, 150.0, 1e9}) {
+        for (int trial = 0; trial < 50; ++trial) {
+            const std::size_t n =
+                static_cast<std::size_t>(rng.uniformInt(1, 20));
+            std::vector<std::uint32_t> rows(n);
+            Vector scores(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                rows[i] = static_cast<std::uint32_t>(i);
+                scores[i] = static_cast<float>(rng.normal(0.0, 3.0));
+            }
+            const auto kept = postScoringSelect(
+                rows, scores, thresholdFromPercent(tPercent));
+            EXPECT_FALSE(kept.empty())
+                << "T=" << tPercent << " trial " << trial;
+        }
+    }
 }
 
 TEST(PostScoring, PreservesInputOrder)
