@@ -150,6 +150,9 @@ measureCache(std::size_t sessions, std::size_t n, std::size_t d,
                    values[s]);
         miss.add(now() - start);
     }
+    // Steady state from here: drop the bind-phase counters so the
+    // reported hits/misses describe only the measured hit loop.
+    cache.resetCounters();
     // Hit path as a hot serving loop runs it: find() first, so the
     // matrices are never copied (bind()'s by-value parameters would
     // charge a full task copy to every timed hit).
@@ -184,6 +187,9 @@ struct SchedulerRow
     std::size_t threads = 0;
     double queriesPerSecond = 0.0;
     std::size_t repeats = 0;
+    /** Steady-state scheduler counters over the measured drains. */
+    std::uint64_t answered = 0;
+    std::uint64_t coalescedGroups = 0;
 };
 
 SchedulerRow
@@ -215,10 +221,14 @@ measureScheduler(std::size_t sessions, std::size_t queriesPerSession,
                 scheduler.submit("session-" + std::to_string(s),
                                  queries[i++]);
     };
-    // Warm-up drain spins the pool up and grows the scratch arenas.
+    // Warm-up drain spins the pool up and grows the scratch arenas;
+    // resetting the counters afterwards makes the reported stats
+    // steady-state rather than cumulative-including-warm-up.
     submitAll();
     if (scheduler.drain().size() != queries.size())
         fatal("scheduler dropped requests");
+    scheduler.resetCounters();
+    cache.resetCounters();
 
     RunningStat batchSeconds;
     for (std::size_t r = 0; r < repeats; ++r) {
@@ -237,6 +247,9 @@ measureScheduler(std::size_t sessions, std::size_t queriesPerSession,
     row.queriesPerSecond =
         static_cast<double>(queries.size()) / batchSeconds.min();
     row.repeats = repeats;
+    const BatchSchedulerStats stats = scheduler.stats();
+    row.answered = stats.answered;
+    row.coalescedGroups = stats.groups;
     return row;
 }
 
@@ -329,9 +342,13 @@ main(int argc, char **argv)
         const SchedulerRow &r = schedulerRows[i];
         std::printf("    {\"sessions\": %zu, "
                     "\"queries_per_session\": %zu, \"threads\": %zu, "
-                    "\"queries_per_second\": %.1f, \"repeats\": %zu}%s\n",
+                    "\"queries_per_second\": %.1f, \"repeats\": %zu, "
+                    "\"answered\": %llu, "
+                    "\"coalesced_groups\": %llu}%s\n",
                     r.sessions, r.queriesPerSession, r.threads,
                     r.queriesPerSecond, r.repeats,
+                    static_cast<unsigned long long>(r.answered),
+                    static_cast<unsigned long long>(r.coalescedGroups),
                     i + 1 < schedulerRows.size() ? "," : "");
     }
     std::printf("  ]\n}\n");

@@ -90,12 +90,17 @@ ApproxAttention::candidateRowsInto(const Vector &query,
     return iterations;
 }
 
-void
-ApproxAttention::runInto(const Vector &query,
-                         AttentionResult &out) const
+/**
+ * Stages 1-3 shared by runInto() and runPartialInto(): candidate
+ * selection into scratch.rowIds, candidate dot products into
+ * scratch.candScores, post-scoring survivors into scratch.kept.
+ * Returns the greedy iterations executed.
+ */
+std::size_t
+ApproxAttention::selectKeptInto(const Vector &query,
+                                Scratch &scratch) const
 {
     a3Assert(query.size() == key_.cols(), "query dimension mismatch");
-    Scratch &scratch = Scratch::forThread();
     const Kernels &k = activeKernels();
 
     // Stage 1: candidate selection.
@@ -116,6 +121,16 @@ ApproxAttention::runInto(const Vector &query,
         scratch.kept.assign(scratch.rowIds.begin(),
                             scratch.rowIds.end());
     }
+    return iterations;
+}
+
+void
+ApproxAttention::runInto(const Vector &query,
+                         AttentionResult &out) const
+{
+    Scratch &scratch = Scratch::forThread();
+    const std::size_t iterations = selectKeptInto(query, scratch);
+    const std::size_t count = scratch.rowIds.size();
 
     // Stages 4-5: softmax and weighted sum over the kept rows.
     subsetAttentionInto(key_, value_, query, scratch.kept, out,
@@ -125,6 +140,25 @@ ApproxAttention::runInto(const Vector &query,
     out.iterations = iterations;
     // subsetAttentionInto() only filled scores for kept rows; also
     // record the candidate scores that post-scoring inspected.
+    for (std::size_t i = 0; i < count; ++i)
+        out.scores[scratch.rowIds[i]] = scratch.candScores[i];
+}
+
+void
+ApproxAttention::runPartialInto(const Vector &query,
+                                PartialResult &out) const
+{
+    Scratch &scratch = Scratch::forThread();
+    const std::size_t iterations = selectKeptInto(query, scratch);
+    const std::size_t count = scratch.rowIds.size();
+
+    // Stages 4-5, stopped before normalization: the log-sum-exp terms
+    // over the kept rows are what a shard merge combines.
+    subsetAttentionPartialInto(key_, value_, query, scratch.kept, out,
+                               scratch);
+    out.candidates.assign(scratch.rowIds.begin(),
+                          scratch.rowIds.end());
+    out.iterations = iterations;
     for (std::size_t i = 0; i < count; ++i)
         out.scores[scratch.rowIds[i]] = scratch.candScores[i];
 }

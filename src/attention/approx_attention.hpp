@@ -44,6 +44,18 @@ class ApproxAttention final : public AttentionBackend
                  AttentionResult &out) const override;
 
     /**
+     * Native partial path: stages 1-3 (selection and post-scoring)
+     * run exactly as in runInto(), then the softmax terms over the
+     * kept rows are left unnormalized for a log-sum-exp shard merge.
+     * Note the approximation is shard-local — a sharded approx
+     * backend selects candidates within each shard, so its merged
+     * result is accuracy-bounded against the unsharded flow rather
+     * than bit-tight (the greedy search sees different competitors).
+     */
+    void runPartialInto(const Vector &query,
+                        PartialResult &out) const override;
+
+    /**
      * Incremental task extension: the new rows are merged into the
      * column-sorted key instead of rebuilding it (see SortedKey::
      * append), so the per-update cost is O(d n) rather than the
@@ -81,6 +93,15 @@ class ApproxAttention final : public AttentionBackend
     std::size_t dims() const override { return key_.cols(); }
 
   private:
+    /**
+     * Stages 1-3 (selection, candidate scoring, post-scoring) shared
+     * by runInto() and runPartialInto(): fills scratch.rowIds,
+     * scratch.candScores, and scratch.kept; returns the greedy
+     * iterations executed.
+     */
+    std::size_t selectKeptInto(const Vector &query,
+                               Scratch &scratch) const;
+
     Matrix key_;
     Matrix value_;
     ApproxConfig config_;

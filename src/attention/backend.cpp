@@ -1,5 +1,7 @@
 #include "attention/backend.hpp"
 
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <utility>
 
@@ -7,6 +9,7 @@
 #include "attention/post_scoring.hpp"
 #include "attention/quantized.hpp"
 #include "attention/reference.hpp"
+#include "kernels/kernels.hpp"
 #include "kernels/scratch.hpp"
 #include "util/logging.hpp"
 
@@ -26,6 +29,58 @@ engineKindName(EngineKind kind)
         return "approx-quantized";
     }
     panic("unknown engine kind");
+}
+
+void
+finalizePartialInto(const PartialResult &partial, AttentionResult &result)
+{
+    const Kernels &k = activeKernels();
+    result.scores = partial.scores;
+    result.candidates = partial.candidates;
+    result.kept = partial.kept;
+    result.iterations = partial.iterations;
+    // 0 / expSum stays exactly 0, so dividing the full scattered
+    // arrays applies the same per-element IEEE division the m-length
+    // softmax workspace saw — weights of kept rows are bit-identical
+    // either way.
+    result.weights = partial.expWeights;
+    k.divideBy(result.weights.data(), result.weights.size(),
+               partial.expSum);
+    result.output = partial.accum;
+    k.divideBy(result.output.data(), result.output.size(),
+               partial.expSum);
+}
+
+void
+AttentionBackend::runPartialInto(const Vector &query,
+                                 PartialResult &out) const
+{
+    // Derived fallback for backends without a native partial path
+    // (the quantized kinds): run the full local pipeline, then
+    // recompute the log-sum-exp terms in float from the kept scores
+    // and scale the normalized weights/output back up by expSum. The
+    // backend's own weighting survives the roundtrip up to ULPs.
+    thread_local AttentionResult local;
+    runInto(query, local);
+
+    float maxScore = -std::numeric_limits<float>::infinity();
+    for (const std::uint32_t r : local.kept)
+        maxScore = std::max(maxScore, local.scores[r]);
+    float expSum = 0.0f;
+    for (const std::uint32_t r : local.kept)
+        expSum += std::exp(local.scores[r] - maxScore);
+
+    const Kernels &k = activeKernels();
+    out.scores = local.scores;
+    out.candidates = local.candidates;
+    out.kept = local.kept;
+    out.iterations = local.iterations;
+    out.expWeights = local.weights;
+    k.scale(out.expWeights.data(), out.expWeights.size(), expSum);
+    out.accum = local.output;
+    k.scale(out.accum.data(), out.accum.size(), expSum);
+    out.maxScore = maxScore;
+    out.expSum = expSum;
 }
 
 ReferenceAttention::ReferenceAttention(Matrix key, Matrix value)
@@ -48,6 +103,17 @@ ReferenceAttention::runInto(const Vector &query,
     std::iota(scratch.rowIds.begin(), scratch.rowIds.end(), 0u);
     subsetAttentionInto(key_, value_, query, scratch.rowIds, out,
                         scratch);
+}
+
+void
+ReferenceAttention::runPartialInto(const Vector &query,
+                                   PartialResult &out) const
+{
+    Scratch &scratch = Scratch::forThread();
+    scratch.rowIds.resize(key_.rows());
+    std::iota(scratch.rowIds.begin(), scratch.rowIds.end(), 0u);
+    subsetAttentionPartialInto(key_, value_, query, scratch.rowIds,
+                               out, scratch);
 }
 
 void

@@ -76,6 +76,25 @@ class AttentionBackend
                          AttentionResult &out) const = 0;
 
     /**
+     * Answer one query with softmax partials instead of a normalized
+     * result — the shard-local half of the distributed-softmax
+     * decomposition (see PartialResult for the math). Like runInto()
+     * this is const, thread-compatible, and reuses `out`'s buffers.
+     *
+     * The float backends override this with a native partial path
+     * whose finalizePartialInto() is bit-identical to runInto(). The
+     * base implementation derives the partials from runInto(): the
+     * log-sum-exp terms are recomputed in float from the kept scores
+     * and the normalized weights/output are scaled back up by expSum,
+     * which preserves the backend's own weighting (the quantized
+     * kinds' truncating divider) at the cost of a ULP-level roundtrip
+     * — sharded quantized results are accuracy-bounded, not
+     * bit-tight.
+     */
+    virtual void runPartialInto(const Vector &query,
+                                PartialResult &out) const;
+
+    /**
      * Extend the bound task with k additional key/value rows (a
      * streamed context update: new sentences of a story, new tokens of
      * a conversation). The appended rows take row ids
@@ -115,6 +134,15 @@ enum class EngineKind {
 /** Stable name of an engine kind ("exact-float", ...). */
 const char *engineKindName(EngineKind kind);
 
+/**
+ * Normalize one shard's partials into a full AttentionResult: weights
+ * and output are the partial's expWeights/accum divided by expSum;
+ * scores, candidates, kept, and iterations carry over. For the float
+ * backends runInto() is exactly runPartialInto() + this call.
+ */
+void finalizePartialInto(const PartialResult &partial,
+                         AttentionResult &result);
+
 /** Engine selection plus its knobs. */
 struct EngineConfig
 {
@@ -146,6 +174,8 @@ class ReferenceAttention final : public AttentionBackend
     std::string name() const override { return "reference"; }
     void runInto(const Vector &query,
                  AttentionResult &out) const override;
+    void runPartialInto(const Vector &query,
+                        PartialResult &out) const override;
     void append(const Matrix &keyRows,
                 const Matrix &valueRows) override;
     std::size_t memoryBytes() const override;

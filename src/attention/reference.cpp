@@ -45,11 +45,23 @@ subsetAttention(const Matrix &key, const Matrix &value,
     return result;
 }
 
+namespace {
+
+/**
+ * Shared unnormalized core: scores, exp weights u_i = exp(s_i - max),
+ * their sum, and the accumulation sum u_i * v_i, written straight
+ * into caller-owned buffers — PartialResult fields on the partial
+ * path, AttentionResult fields on the exact path (which then
+ * normalizes in place, avoiding any staging copy).
+ */
 void
-subsetAttentionInto(const Matrix &key, const Matrix &value,
-                    const Vector &query,
-                    std::span<const std::uint32_t> rows,
-                    AttentionResult &result, Scratch &scratch)
+subsetPartialCore(const Matrix &key, const Matrix &value,
+                  const Vector &query,
+                  std::span<const std::uint32_t> rows, Vector &scores,
+                  Vector &expWeights,
+                  std::vector<std::uint32_t> &candidates,
+                  std::vector<std::uint32_t> &kept, Vector &accum,
+                  float &maxScore, float &expSum, Scratch &scratch)
 {
     a3Assert(key.rows() == value.rows() && key.cols() == value.cols(),
              "key/value shape mismatch");
@@ -63,28 +75,63 @@ subsetAttentionInto(const Matrix &key, const Matrix &value,
         a3Assert(r < n, "row index out of range");
 
     const Kernels &k = activeKernels();
-    result.scores.assign(n, 0.0f);
-    result.weights.assign(n, 0.0f);
-    result.candidates.assign(rows.begin(), rows.end());
-    result.kept.assign(rows.begin(), rows.end());
-    result.iterations = 0;
+    scores.assign(n, 0.0f);
+    expWeights.assign(n, 0.0f);
+    candidates.assign(rows.begin(), rows.end());
+    kept.assign(rows.begin(), rows.end());
 
     // Step 1: dot products for the selected rows only.
     scratch.sub.resize(m);
     k.gatherDot(key.data().data(), d, rows.data(), m, query.data(),
                 scratch.sub.data());
     for (std::size_t i = 0; i < m; ++i)
-        result.scores[rows[i]] = scratch.sub[i];
+        scores[rows[i]] = scratch.sub[i];
 
-    // Step 2: softmax over the subset.
-    softmaxInPlace(scratch.sub.data(), m);
+    // Step 2: unnormalized softmax terms over the subset.
+    maxScore = k.maxReduce(scratch.sub.data(), m);
+    expSum = k.expSumInPlace(scratch.sub.data(), m, maxScore);
     for (std::size_t i = 0; i < m; ++i)
-        result.weights[rows[i]] = scratch.sub[i];
+        expWeights[rows[i]] = scratch.sub[i];
 
-    // Step 3: weighted sum of the selected value rows.
-    result.output.assign(d, 0.0f);
+    // Step 3: unnormalized accumulation of the selected value rows.
+    accum.assign(d, 0.0f);
     k.gatherWeightedSum(value.data().data(), d, rows.data(), m,
-                        scratch.sub.data(), result.output.data());
+                        scratch.sub.data(), accum.data());
+}
+
+}  // namespace
+
+void
+subsetAttentionInto(const Matrix &key, const Matrix &value,
+                    const Vector &query,
+                    std::span<const std::uint32_t> rows,
+                    AttentionResult &result, Scratch &scratch)
+{
+    // The single-shard specialization of the partial path: the same
+    // core writes the unnormalized terms into result's own buffers
+    // (weights holding u_i, output holding the accumulation), and
+    // normalization happens in place.
+    float maxScore = 0.0f;
+    float expSum = 0.0f;
+    subsetPartialCore(key, value, query, rows, result.scores,
+                      result.weights, result.candidates, result.kept,
+                      result.output, maxScore, expSum, scratch);
+    result.iterations = 0;
+    const Kernels &k = activeKernels();
+    k.divideBy(result.weights.data(), result.weights.size(), expSum);
+    k.divideBy(result.output.data(), result.output.size(), expSum);
+}
+
+void
+subsetAttentionPartialInto(const Matrix &key, const Matrix &value,
+                           const Vector &query,
+                           std::span<const std::uint32_t> rows,
+                           PartialResult &out, Scratch &scratch)
+{
+    subsetPartialCore(key, value, query, rows, out.scores,
+                      out.expWeights, out.candidates, out.kept,
+                      out.accum, out.maxScore, out.expSum, scratch);
+    out.iterations = 0;
 }
 
 }  // namespace a3

@@ -53,11 +53,28 @@ AttentionResult subsetAttention(const Matrix &key, const Matrix &value,
  * Allocation-free core of subsetAttention(): writes every field of
  * `result` (reusing its buffers) and takes its softmax workspace from
  * `scratch.sub`. `rows` may alias scratch.rowIds or scratch.kept.
+ * Implemented as subsetAttentionPartialInto() + finalizePartialInto()
+ * — exact attention is the single-shard specialization of the partial
+ * path.
  */
 void subsetAttentionInto(const Matrix &key, const Matrix &value,
                          const Vector &query,
                          std::span<const std::uint32_t> rows,
                          AttentionResult &result, Scratch &scratch);
+
+/**
+ * Partial-output core of the reference path: scores, unnormalized
+ * exp weights, their sum, the row maximum, and the unnormalized value
+ * accumulation over `rows` — everything the log-sum-exp shard merge
+ * needs, and exactly the quantities subsetAttentionInto() normalizes
+ * (see PartialResult). Buffer discipline matches subsetAttentionInto:
+ * softmax workspace in `scratch.sub`, `rows` may alias scratch row
+ * buffers, and every field of `out` is (re)written.
+ */
+void subsetAttentionPartialInto(const Matrix &key, const Matrix &value,
+                                const Vector &query,
+                                std::span<const std::uint32_t> rows,
+                                PartialResult &out, Scratch &scratch);
 
 }  // namespace a3
 

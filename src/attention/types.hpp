@@ -46,6 +46,53 @@ struct AttentionResult
     std::size_t iterations = 0;
 };
 
+/**
+ * Softmax partials of one attention operation, before normalization —
+ * the shard-local contribution of the numerically stable distributed
+ * softmax decomposition. A shard holding rows with scores s_i returns
+ *
+ *     maxScore   m = max_i s_i            (over the kept rows)
+ *     expSum     Z = sum_i exp(s_i - m)
+ *     expWeights u_i = exp(s_i - m)       (0 for excluded rows)
+ *     accum      a = sum_i u_i * v_i      (unnormalized value sum)
+ *
+ * and shards combine via log-sum-exp: with M = max_s m_s and
+ * c_s = exp(m_s - M), the merged weights are u_i * c_s / sum_s Z_s c_s
+ * and the merged output is (sum_s a_s c_s) / (sum_s Z_s c_s).
+ * Normalizing a single partial (finalizePartialInto) recovers the
+ * plain AttentionResult, which is why runInto() is the single-shard
+ * specialization of the partial path.
+ *
+ * scores / candidates / kept / iterations mirror AttentionResult but
+ * are local to the shard's rows (ids in [0, shard rows)).
+ */
+struct PartialResult
+{
+    /** d-dimensional unnormalized value accumulation sum u_i * v_i. */
+    Vector accum;
+
+    /** Per-row unnormalized weights exp(s_i - maxScore), length n. */
+    Vector expWeights;
+
+    /** Per-row similarity scores, length n (0 for non-candidates). */
+    Vector scores;
+
+    /** Rows surviving candidate selection, ascending local ids. */
+    std::vector<std::uint32_t> candidates;
+
+    /** Rows surviving post-scoring selection, ascending subset. */
+    std::vector<std::uint32_t> kept;
+
+    /** Greedy-search iterations actually executed (0 if exact). */
+    std::size_t iterations = 0;
+
+    /** Maximum score over the kept rows. */
+    float maxScore = 0.0f;
+
+    /** Sum of exp(s_i - maxScore) over the kept rows. */
+    float expSum = 0.0f;
+};
+
 }  // namespace a3
 
 #endif  // A3_ATTENTION_TYPES_HPP

@@ -21,8 +21,23 @@ BatchScheduler::submit(const std::string &session, Vector query)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     const std::uint64_t ticket = nextTicket_++;
+    ++stats_.submitted;
     queue_.push_back({ticket, session, std::move(query)});
     return ticket;
+}
+
+BatchSchedulerStats
+BatchScheduler::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+BatchScheduler::resetCounters()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = BatchSchedulerStats{};
 }
 
 std::size_t
@@ -103,6 +118,12 @@ BatchScheduler::drain()
               [](const ServingResult &a, const ServingResult &b) {
                   return a.ticket < b.ticket;
               });
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.drains;
+        stats_.answered += completions.size();
+        stats_.groups += groups.size();
+    }
     return completions;
 }
 

@@ -39,6 +39,24 @@ struct ServingResult
     AttentionResult result;
 };
 
+/** Monotonic usage counters of one BatchScheduler. */
+struct BatchSchedulerStats
+{
+    /** Requests enqueued through submit(). */
+    std::uint64_t submitted = 0;
+
+    /** Completions returned by drain(). */
+    std::uint64_t answered = 0;
+
+    /** drain() calls that executed a non-empty batch. */
+    std::uint64_t drains = 0;
+
+    /** Coalesced request groups across those drains (one per
+     * distinct session per drain); answered / groups is the
+     * coalescing factor. */
+    std::uint64_t groups = 0;
+};
+
 /** Coalescing batch executor over cached per-session backends. */
 class BatchScheduler
 {
@@ -73,6 +91,16 @@ class BatchScheduler
      */
     std::vector<ServingResult> drain();
 
+    /** Snapshot of the usage counters. */
+    BatchSchedulerStats stats() const;
+
+    /**
+     * Zero the usage counters; queued requests and the ticket clock
+     * are untouched. Benches and the CI regression gate reset after
+     * warm-up so the reported numbers are steady-state.
+     */
+    void resetCounters();
+
   private:
     struct PendingRequest
     {
@@ -88,6 +116,7 @@ class BatchScheduler
     mutable std::mutex mutex_;
     std::uint64_t nextTicket_ = 1;
     std::deque<PendingRequest> queue_;
+    BatchSchedulerStats stats_;
 };
 
 }  // namespace a3

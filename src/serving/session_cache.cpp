@@ -170,4 +170,11 @@ SessionCache::stats() const
     return stats_;
 }
 
+void
+SessionCache::resetCounters()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = SessionCacheStats{};
+}
+
 }  // namespace a3

@@ -117,6 +117,13 @@ class SessionCache
     /** Snapshot of the usage counters. */
     SessionCacheStats stats() const;
 
+    /**
+     * Zero the usage counters without touching the bound sessions —
+     * benches and the CI regression gate reset after warm-up so the
+     * reported numbers are steady-state, not cumulative.
+     */
+    void resetCounters();
+
   private:
     struct Entry
     {

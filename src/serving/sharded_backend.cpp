@@ -1,0 +1,239 @@
+#include "serving/sharded_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "kernels/kernels.hpp"
+#include "util/logging.hpp"
+
+namespace a3 {
+
+ShardedBackend::ShardedBackend(const EngineConfig &inner, Matrix key,
+                               Matrix value, ShardedConfig config)
+    : inner_(inner), config_(config)
+{
+    a3Assert(config_.shardRows > 0, "shardRows must be positive");
+    a3Assert(key.rows() == value.rows() && key.cols() == value.cols(),
+             "key/value shape mismatch");
+    a3Assert(key.rows() > 0 && key.cols() > 0,
+             "attention task must be non-empty");
+    dims_ = key.cols();
+
+    // Row-contiguous, size-balanced partition: ceil(n / shardRows)
+    // shards, the first n % S of them one row larger. Balanced sizes
+    // never exceed shardRows, so append() capacity math stays valid.
+    const std::size_t n = key.rows();
+    const std::size_t shardCount =
+        (n + config_.shardRows - 1) / config_.shardRows;
+    const std::size_t base = n / shardCount;
+    const std::size_t extra = n % shardCount;
+    std::size_t offset = 0;
+    shards_.reserve(shardCount);
+    offsets_.reserve(shardCount);
+    for (std::size_t s = 0; s < shardCount; ++s) {
+        const std::size_t take = base + (s < extra ? 1 : 0);
+        shards_.push_back(makeBackend(inner_,
+                                      key.rowSlice(offset, take),
+                                      value.rowSlice(offset, take)));
+        offsets_.push_back(offset);
+        offset += take;
+    }
+}
+
+std::string
+ShardedBackend::name() const
+{
+    return "sharded(" + shards_.front()->name() + ")";
+}
+
+std::size_t
+ShardedBackend::rows() const
+{
+    return offsets_.back() + shards_.back()->rows();
+}
+
+std::size_t
+ShardedBackend::memoryBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->memoryBytes();
+    return total;
+}
+
+const AttentionBackend &
+ShardedBackend::shard(std::size_t s) const
+{
+    a3Assert(s < shards_.size(), "shard index ", s, " out of ",
+             shards_.size());
+    return *shards_[s];
+}
+
+std::size_t
+ShardedBackend::shardOffset(std::size_t s) const
+{
+    a3Assert(s < offsets_.size(), "shard index ", s, " out of ",
+             offsets_.size());
+    return offsets_[s];
+}
+
+void
+ShardedBackend::computePartials(
+    const Vector &query, std::vector<PartialResult> &partials) const
+{
+    partials.resize(shards_.size());
+    if (config_.pool != nullptr) {
+        // One-pointer capture so the closure fits std::function's
+        // small-object buffer (the engine's parallelFor idiom); each
+        // lane writes only its own partial slot.
+        struct Ctx
+        {
+            const ShardedBackend *self;
+            const Vector *query;
+            std::vector<PartialResult> *partials;
+        } ctx{this, &query, &partials};
+        config_.pool->parallelFor(shards_.size(),
+                                  [&ctx](std::size_t s) {
+            ctx.self->shards_[s]->runPartialInto(
+                *ctx.query, (*ctx.partials)[s]);
+        });
+    } else {
+        for (std::size_t s = 0; s < shards_.size(); ++s)
+            shards_[s]->runPartialInto(query, partials[s]);
+    }
+}
+
+void
+ShardedBackend::mergePartials(
+    const std::vector<PartialResult> &partials,
+    PartialResult &out) const
+{
+    const Kernels &k = activeKernels();
+    const std::size_t n = rows();
+
+    // Global max first: the shard holding it gets scale exp(0) = 1
+    // exactly, so its terms pass through the merge untouched.
+    float maxScore = partials.front().maxScore;
+    for (const PartialResult &p : partials)
+        maxScore = std::max(maxScore, p.maxScore);
+
+    out.scores.assign(n, 0.0f);
+    out.expWeights.assign(n, 0.0f);
+    out.candidates.clear();
+    out.kept.clear();
+    out.iterations = 0;
+    out.maxScore = maxScore;
+    out.expSum = 0.0f;
+    out.accum.assign(dims_, 0.0f);
+
+    // Serial merge in shard-index order, regardless of how the
+    // partials were computed — the fixed order that makes parallel
+    // and serial fan-out bit-identical.
+    for (std::size_t s = 0; s < partials.size(); ++s) {
+        const PartialResult &p = partials[s];
+        const std::size_t offset = offsets_[s];
+        const std::size_t local = shards_[s]->rows();
+        const float scale = std::exp(p.maxScore - maxScore);
+
+        std::copy(p.scores.begin(), p.scores.end(),
+                  out.scores.begin() +
+                      static_cast<std::ptrdiff_t>(offset));
+        std::copy(p.expWeights.begin(), p.expWeights.end(),
+                  out.expWeights.begin() +
+                      static_cast<std::ptrdiff_t>(offset));
+        k.scale(out.expWeights.data() + offset, local, scale);
+        k.axpy(scale, p.accum.data(), out.accum.data(), dims_);
+        out.expSum += p.expSum * scale;
+        out.iterations += p.iterations;
+
+        const auto globalId = [offset](std::uint32_t id) {
+            return static_cast<std::uint32_t>(offset + id);
+        };
+        for (const std::uint32_t id : p.candidates)
+            out.candidates.push_back(globalId(id));
+        for (const std::uint32_t id : p.kept)
+            out.kept.push_back(globalId(id));
+    }
+}
+
+void
+ShardedBackend::runInto(const Vector &query, AttentionResult &out) const
+{
+    // Degenerate single shard: the wrapped backend IS the task, so
+    // delegating keeps every kind — including the quantized paths,
+    // whose partial roundtrip is not bit-tight — bit-identical to an
+    // unsharded backend.
+    if (shards_.size() == 1) {
+        shards_.front()->runInto(query, out);
+        return;
+    }
+    thread_local PartialResult merged;
+    runPartialInto(query, merged);
+    finalizePartialInto(merged, out);
+}
+
+void
+ShardedBackend::runPartialInto(const Vector &query,
+                               PartialResult &out) const
+{
+    if (shards_.size() == 1) {
+        shards_.front()->runPartialInto(query, out);
+        return;
+    }
+    // Per-thread partial slots keep the steady-state query path
+    // allocation-free (each slot's buffers regrow only when the task
+    // shape grows), while staying thread-compatible across
+    // concurrent queries: every calling thread owns its own slots,
+    // and the pool lanes only write into the caller's distinct
+    // elements. Shards are never themselves sharded (makeBackend
+    // produces only the four plain kinds), so the buffer cannot be
+    // re-entered.
+    thread_local std::vector<PartialResult> partials;
+    computePartials(query, partials);
+    mergePartials(partials, out);
+}
+
+void
+ShardedBackend::append(const Matrix &keyRows, const Matrix &valueRows)
+{
+    a3Assert(keyRows.rows() == valueRows.rows() &&
+                 keyRows.cols() == valueRows.cols(),
+             "appended key/value shape mismatch");
+    a3Assert(keyRows.cols() == dims_,
+             "appended rows must match the task dimension");
+
+    const std::size_t total = keyRows.rows();
+    std::size_t consumed = 0;
+    while (consumed < total) {
+        AttentionBackend &last = *shards_.back();
+        const std::size_t lastRows = last.rows();
+        if (lastRows < config_.shardRows) {
+            // Fill the last non-full shard to capacity first.
+            const std::size_t take = std::min(
+                config_.shardRows - lastRows, total - consumed);
+            last.append(keyRows.rowSlice(consumed, take),
+                        valueRows.rowSlice(consumed, take));
+            consumed += take;
+        } else {
+            // Open a new shard for the overflow.
+            const std::size_t take =
+                std::min(config_.shardRows, total - consumed);
+            offsets_.push_back(offsets_.back() + lastRows);
+            shards_.push_back(makeBackend(
+                inner_, keyRows.rowSlice(consumed, take),
+                valueRows.rowSlice(consumed, take)));
+            consumed += take;
+        }
+    }
+}
+
+std::unique_ptr<AttentionBackend>
+makeShardedBackend(const EngineConfig &inner, Matrix key, Matrix value,
+                   ShardedConfig config)
+{
+    return std::make_unique<ShardedBackend>(
+        inner, std::move(key), std::move(value), config);
+}
+
+}  // namespace a3

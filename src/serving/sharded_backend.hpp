@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Sharded attention over huge contexts.
+ *
+ * One backend/engine task caps what a session can hold: the sorted
+ * key, the quantized lanes, and every per-query pass are sized by the
+ * task's row count. ShardedBackend lifts that cap by partitioning a
+ * task's key/value rows into S row-contiguous, size-balanced shards,
+ * binding an inner backend per shard (any of the four kinds via
+ * makeBackend), fanning queries out across the shards — optionally in
+ * parallel on a borrowed engine ThreadPool — and merging the
+ * per-shard softmax partials with the numerically stable log-sum-exp
+ * combine (see PartialResult for the decomposition).
+ *
+ * Guarantees:
+ *  - S = 1 delegates straight to the wrapped backend, so a sharded
+ *    session that fits one shard is bit-identical to an unsharded
+ *    one, for every backend kind.
+ *  - Shard partials are always merged serially in shard-index order
+ *    after the fan-out completes, so results are bit-identical
+ *    between serial and parallel fan-out and across thread counts
+ *    (the exact-match mode: fixed merge order).
+ *  - Reference shards match the unsharded reference within a small
+ *    ULP bound (each weight picks up one exp(m_s - M) scaling and
+ *    the value accumulation is reassociated at shard boundaries);
+ *    approx/quantized shards are accuracy-bounded against the
+ *    unsharded flow because selection and fixed-point sizing are
+ *    shard-local.
+ *
+ * ShardedBackend implements AttentionBackend, so the serving tier —
+ * SessionCache byte accounting, BatchScheduler coalescing, the
+ * batched AttentionEngine — handles sharded sessions unchanged:
+ * memoryBytes() aggregates the shards and append() routes new rows to
+ * the last non-full shard or opens a new one.
+ */
+
+#ifndef A3_SERVING_SHARDED_BACKEND_HPP
+#define A3_SERVING_SHARDED_BACKEND_HPP
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attention/backend.hpp"
+#include "attention/types.hpp"
+#include "engine/thread_pool.hpp"
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+/** Partitioning and fan-out knobs of one ShardedBackend. */
+struct ShardedConfig
+{
+    /**
+     * Row capacity of one shard (> 0). Binding n rows creates
+     * ceil(n / shardRows) shards with the rows balanced across them;
+     * append() fills the last shard to this capacity before opening
+     * another.
+     */
+    std::size_t shardRows = 4096;
+
+    /**
+     * Optional borrowed pool to fan the per-shard partial passes out
+     * on; nullptr computes them serially on the calling thread. The
+     * merge order is fixed either way, so both modes produce
+     * bit-identical results. A nested call from inside one of the
+     * pool's own job bodies (a sharded backend queried through the
+     * engine that owns the pool) runs inline per ThreadPool's nesting
+     * rule.
+     */
+    const ThreadPool *pool = nullptr;
+};
+
+/** Row-sharded composite over per-shard inner backends. */
+class ShardedBackend final : public AttentionBackend
+{
+  public:
+    /**
+     * Partition (key, value) into ceil(n / config.shardRows) shards
+     * and bind an inner backend per shard through makeBackend(inner).
+     */
+    ShardedBackend(const EngineConfig &inner, Matrix key, Matrix value,
+                   ShardedConfig config);
+
+    /** "sharded(<inner name>)", e.g. "sharded(reference)". */
+    std::string name() const override;
+
+    /**
+     * Answer one query: per-shard partials (serial or pooled per the
+     * config), then the fixed-order log-sum-exp merge. With a single
+     * shard this delegates to the wrapped backend's runInto() —
+     * bit-identical by construction. Row ids in scores, weights,
+     * candidates, and kept are global; iterations sums the shards.
+     */
+    void runInto(const Vector &query,
+                 AttentionResult &out) const override;
+
+    /**
+     * Merge the shard partials into one unnormalized partial (global
+     * max, summed exp-sum, scaled accumulation) — the full backend
+     * contract, so a sharded session can feed any consumer of the
+     * partial path. Shards themselves are always the plain kinds
+     * (makeBackend), never nested sharded backends.
+     */
+    void runPartialInto(const Vector &query,
+                        PartialResult &out) const override;
+
+    /**
+     * Route appended rows to the last shard until it reaches
+     * shardRows capacity, then open new shard(s) for the remainder.
+     * Global row ids keep ascending across the shard boundary.
+     */
+    void append(const Matrix &keyRows,
+                const Matrix &valueRows) override;
+
+    /** Sum of the shards' preprocessed bytes. */
+    std::size_t memoryBytes() const override;
+
+    /** Total rows across the shards. */
+    std::size_t rows() const override;
+
+    std::size_t dims() const override { return dims_; }
+
+    /** Shards currently bound. */
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Inner backend of shard `s` (for tests and introspection). */
+    const AttentionBackend &shard(std::size_t s) const;
+
+    /** Global row id of shard `s`'s first row. */
+    std::size_t shardOffset(std::size_t s) const;
+
+    const ShardedConfig &config() const { return config_; }
+
+  private:
+    /**
+     * Fan runPartialInto() across the shards into partials_[s] slots
+     * of `partials` (resized to shardCount()), serially or on the
+     * configured pool.
+     */
+    void computePartials(const Vector &query,
+                         std::vector<PartialResult> &partials) const;
+
+    /**
+     * Log-sum-exp combine of the shard partials, serially in shard
+     * order, into one global-row-id partial.
+     */
+    void mergePartials(const std::vector<PartialResult> &partials,
+                       PartialResult &out) const;
+
+    EngineConfig inner_;
+    ShardedConfig config_;
+    std::vector<std::unique_ptr<AttentionBackend>> shards_;
+    /** Global row id of each shard's first row. */
+    std::vector<std::size_t> offsets_;
+    std::size_t dims_ = 0;
+};
+
+/**
+ * Convenience factory mirroring makeBackend(): a sharded backend over
+ * inner backends of the configured kind.
+ */
+std::unique_ptr<AttentionBackend>
+makeShardedBackend(const EngineConfig &inner, Matrix key, Matrix value,
+                   ShardedConfig config);
+
+}  // namespace a3
+
+#endif  // A3_SERVING_SHARDED_BACKEND_HPP

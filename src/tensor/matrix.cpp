@@ -1,5 +1,6 @@
 #include "tensor/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hpp"
@@ -40,6 +41,20 @@ Matrix::appendRows(const Matrix &other)
              other.cols_, " vs ", cols_);
     data_.insert(data_.end(), other.data_.begin(), other.data_.end());
     rows_ += other.rows_;
+}
+
+Matrix
+Matrix::rowSlice(std::size_t firstRow, std::size_t count) const
+{
+    a3Assert(firstRow + count <= rows_, "rowSlice [", firstRow, ", ",
+             firstRow + count, ") out of ", rows_, " rows");
+    Matrix out(count, cols_);
+    const auto begin = data_.begin() +
+                       static_cast<std::ptrdiff_t>(firstRow * cols_);
+    std::copy(begin,
+              begin + static_cast<std::ptrdiff_t>(count * cols_),
+              out.data_.begin());
+    return out;
 }
 
 float &

@@ -39,6 +39,13 @@ class Matrix
      */
     void appendRows(const Matrix &other);
 
+    /**
+     * Copy of the `count` rows starting at `firstRow` (the
+     * row-contiguous slice a shard binds); firstRow + count must not
+     * exceed rows().
+     */
+    Matrix rowSlice(std::size_t firstRow, std::size_t count) const;
+
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
     bool empty() const { return rows_ == 0 || cols_ == 0; }

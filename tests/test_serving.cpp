@@ -414,6 +414,75 @@ TEST(BatchScheduler, ConcurrentSubmittersGetDistinctTickets)
         EXPECT_LT(completions[i - 1].ticket, completions[i].ticket);
 }
 
+TEST(SessionCache, ResetCountersKeepsSessions)
+{
+    Rng rng(10200);
+    EngineConfig cfg;
+    cfg.kind = EngineKind::ExactFloat;
+    SessionCache cache;
+    cache.bind("s", cfg, randomMatrix(rng, 8, 4),
+               randomMatrix(rng, 8, 4));
+    cache.find("s");
+    cache.find("missing");
+    cache.append("s", randomMatrix(rng, 1, 4), randomMatrix(rng, 1, 4));
+    EXPECT_GT(cache.stats().hits + cache.stats().misses, 0u);
+
+    cache.resetCounters();
+    const SessionCacheStats zeroed = cache.stats();
+    EXPECT_EQ(zeroed.hits, 0u);
+    EXPECT_EQ(zeroed.misses, 0u);
+    EXPECT_EQ(zeroed.evictions, 0u);
+    EXPECT_EQ(zeroed.appends, 0u);
+    // Sessions and accounting survive: only the counters reset.
+    EXPECT_EQ(cache.sessionCount(), 1u);
+    EXPECT_NE(cache.find("s"), nullptr);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BatchScheduler, StatsCountAndReset)
+{
+    Rng rng(10300);
+    const std::size_t d = 8;
+    AttentionEngine engine(2);
+    SessionCache cache;
+    BatchScheduler scheduler(engine, cache);
+    EngineConfig cfg;
+    cfg.kind = EngineKind::ExactFloat;
+    cache.bind("a", cfg, randomMatrix(rng, 10, d),
+               randomMatrix(rng, 10, d));
+    cache.bind("b", cfg, randomMatrix(rng, 10, d),
+               randomMatrix(rng, 10, d));
+
+    for (int i = 0; i < 3; ++i) {
+        scheduler.submit("a", randomQuery(rng, d));
+        scheduler.submit("b", randomQuery(rng, d));
+    }
+    EXPECT_EQ(scheduler.drain().size(), 6u);
+    scheduler.drain();  // empty: no batch executed, no drain counted
+
+    const BatchSchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.submitted, 6u);
+    EXPECT_EQ(stats.answered, 6u);
+    EXPECT_EQ(stats.drains, 1u);
+    EXPECT_EQ(stats.groups, 2u);  // six requests coalesced into two
+
+    // Reset zeroes the counters but not the ticket clock: benches
+    // measure steady-state after warm-up without perturbing order.
+    const std::uint64_t before =
+        scheduler.submit("a", randomQuery(rng, d));
+    scheduler.resetCounters();
+    const BatchSchedulerStats zeroed = scheduler.stats();
+    EXPECT_EQ(zeroed.submitted, 0u);
+    EXPECT_EQ(zeroed.answered, 0u);
+    EXPECT_EQ(zeroed.drains, 0u);
+    EXPECT_EQ(zeroed.groups, 0u);
+    const std::uint64_t after =
+        scheduler.submit("a", randomQuery(rng, d));
+    EXPECT_LT(before, after);
+    EXPECT_EQ(scheduler.drain().size(), 2u);
+    EXPECT_EQ(scheduler.stats().answered, 2u);
+}
+
 TEST(MakeBackend, RejectsInvalidQuantizerBits)
 {
     Rng rng(10100);

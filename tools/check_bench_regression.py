@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Gate bench JSON metrics against a committed baseline.
+
+Reads the JSON emitted by bench/engine_throughput and
+bench/serving_throughput plus a baseline file (default
+bench/baselines/ci_baseline.json) describing the metrics to gate,
+and fails (exit 1) when any metric regresses past the tolerance
+factor: for higher-is-better metrics the current value must be at
+least baseline / tolerance; for lower-is-better, at most
+baseline * tolerance. The default tolerance of 2.0 means ">2x
+regressions fail" while absorbing the noise of shared CI runners.
+
+Baseline format (see bench/baselines/ci_baseline.json):
+
+    {
+      "tolerance": 2.0,            # global factor, per-metric override
+      "metrics": [
+        {
+          "name": "...",           # label used in the report
+          "file": "engine",        # which --engine/--serving doc
+          "path": [],              # keys into the doc to reach a row
+                                   # array ([] when the doc is one)
+          "where": {"backend": "reference", "kernels": "!scalar"},
+          "field": "speedup_vs_scalar",
+          "aggregate": "max",      # max | min | mean over matches
+          "baseline": 1.5,
+          "direction": "higher",   # higher | lower is better
+          "tolerance": 2.0         # optional override
+        }, ...
+      ]
+    }
+
+A "where" value starting with "!" matches rows whose field differs;
+other values must compare equal after str() coercion.
+
+Local usage, from the repository root:
+
+    cmake --build build -j
+    ./build/bench/engine_throughput --repeats 5 --batch 16 > eng.json
+    ./build/bench/serving_throughput --repeats 5 --max-rows 512 \
+        > srv.json
+    python3 tools/check_bench_regression.py \
+        --baseline bench/baselines/ci_baseline.json \
+        --engine eng.json --serving srv.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def rows_at(doc, path):
+    """Descend `path` keys into `doc` and return the row array."""
+    node = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError("path %r not found in document" % (path,))
+        node = node[key]
+    if not isinstance(node, list):
+        raise KeyError("path %r does not name a row array" % (path,))
+    return node
+
+
+def matches(row, where):
+    for key, want in (where or {}).items():
+        got = str(row.get(key))
+        if isinstance(want, str) and want.startswith("!"):
+            if got == want[1:]:
+                return False
+        elif got != str(want):
+            return False
+    return True
+
+
+def aggregate(values, how):
+    if how == "max":
+        return max(values)
+    if how == "min":
+        return min(values)
+    if how == "mean":
+        return sum(values) / len(values)
+    raise ValueError("unknown aggregate %r" % how)
+
+
+def check_metric(metric, docs, default_tolerance):
+    name = metric["name"]
+    doc = docs.get(metric["file"])
+    if doc is None:
+        return (name, None, None, "skip",
+                "no --%s document supplied" % metric["file"])
+    rows = rows_at(doc, metric.get("path", []))
+    values = [row[metric["field"]]
+              for row in rows
+              if matches(row, metric.get("where"))
+              and metric["field"] in row]
+    if not values:
+        return (name, None, metric["baseline"], "fail",
+                "no rows matched %r" % (metric.get("where"),))
+
+    current = aggregate(values, metric.get("aggregate", "max"))
+    baseline = metric["baseline"]
+    tolerance = metric.get("tolerance", default_tolerance)
+    direction = metric.get("direction", "higher")
+    if direction == "higher":
+        ok = current >= baseline / tolerance
+        bound = "%.4g >= %.4g / %.2g" % (current, baseline, tolerance)
+    elif direction == "lower":
+        ok = current <= baseline * tolerance
+        bound = "%.4g <= %.4g * %.2g" % (current, baseline, tolerance)
+    else:
+        raise ValueError("unknown direction %r" % direction)
+    return (name, current, baseline, "ok" if ok else "fail", bound)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare bench JSON metrics against a baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--engine",
+                        help="engine_throughput JSON output")
+    parser.add_argument("--serving",
+                        help="serving_throughput JSON output")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the baseline's tolerance")
+    args = parser.parse_args()
+
+    baseline = load_json(args.baseline)
+    default_tolerance = (args.tolerance
+                         if args.tolerance is not None
+                         else baseline.get("tolerance", 2.0))
+    docs = {}
+    if args.engine:
+        docs["engine"] = load_json(args.engine)
+    if args.serving:
+        docs["serving"] = load_json(args.serving)
+
+    failures = 0
+    for metric in baseline["metrics"]:
+        name, current, base, status, detail = check_metric(
+            metric, docs, default_tolerance)
+        marker = {"ok": "OK  ", "fail": "FAIL", "skip": "SKIP"}[status]
+        print("%s %-48s %s" % (marker, name, detail))
+        if status == "fail":
+            failures += 1
+
+    if failures:
+        print("\n%d metric(s) regressed past the tolerance factor"
+              % failures)
+        return 1
+    print("\nall gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
