@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Overload and fairness sweep of the admission-controlled serving
+ * tier, emitted as one JSON object with an "overload" row array.
+ *
+ * Four sessions share one BatchScheduler behind a bounded admission
+ * policy; one hot session offers roughly half the traffic, three
+ * cold sessions split the rest, and the hot session carries weight 2
+ * against the cold sessions' weight 1. Each row sweeps the offered
+ * load — a multiple of the per-drain capacity — past saturation and
+ * reports, per multiplier:
+ *
+ *  - shed_rate: rejected / offered submits. Admission decisions are
+ *    count-based and the submit/drain rounds are synchronous, so the
+ *    admitted/rejected split is deterministic across machines.
+ *  - fair_share_min / starvation_ratio: each session's completion
+ *    share divided by its weight share; the minimum is the
+ *    starvation bound (>= 0.5 means no session fell below half its
+ *    fair weight) and max/min is the spread.
+ *  - max_pending: the deepest the queue ever got — bounded by the
+ *    policy's queue depth by construction.
+ *  - queue-wait p50/p95/p99 and drain-service p95 from the
+ *    scheduler's latency reservoirs.
+ *
+ * Usage: overload_fairness [out.csv] [--rounds N] [--max-batch B]
+ *                          [--rows N]
+ *   --rounds N     submit/drain rounds per multiplier (default 40)
+ *   --max-batch B  drain capacity (default 32)
+ *   --rows N       context rows per session (default 320)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attention/backend.hpp"
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "serving/admission.hpp"
+#include "serving/batch_scheduler.hpp"
+#include "serving/session_cache.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace a3;
+
+Matrix
+randomMatrix(Rng &rng, std::size_t n, std::size_t d)
+{
+    Matrix m(n, d);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            m(r, c) = static_cast<float>(rng.normal());
+    return m;
+}
+
+struct OverloadRow
+{
+    double offeredMultiplier = 0.0;
+    const char *regime = "under";
+    std::size_t rounds = 0;
+    std::size_t maxBatch = 0;
+    std::size_t queueDepth = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    double shedRate = 0.0;
+    std::uint64_t answered = 0;
+    std::size_t maxPending = 0;
+    double fairShareMin = 0.0;
+    double fairShareMax = 0.0;
+    double starvationRatio = 0.0;
+    double queueWaitP50 = 0.0;
+    double queueWaitP95 = 0.0;
+    double queueWaitP99 = 0.0;
+    double drainServiceP95 = 0.0;
+};
+
+OverloadRow
+measureOverload(AttentionEngine &engine, double multiplier,
+                std::size_t rounds, std::size_t maxBatch,
+                std::size_t rows, std::size_t d)
+{
+    const std::size_t sessions = 4;
+    const std::size_t hotWeight = 2;
+    const std::size_t weightSum = hotWeight + (sessions - 1);
+
+    Rng rng(bench::benchSeed + 7);
+    EngineConfig config;
+    config.kind = EngineKind::ApproxFloat;
+    SessionCache cache;
+    std::vector<std::string> ids;
+    for (std::size_t s = 0; s < sessions; ++s) {
+        ids.push_back("session-" + std::to_string(s));
+        cache.bind(ids.back(), config, randomMatrix(rng, rows, d),
+                   randomMatrix(rng, rows, d));
+    }
+
+    AdmissionPolicy policy;
+    policy.maxQueueDepth = 4 * maxBatch;
+    policy.maxPendingPerSession = maxBatch;
+    BatchScheduler scheduler(engine, cache, maxBatch, policy);
+    scheduler.setSessionWeight(ids[0], hotWeight);
+
+    // Offered load per round: the hot session offers roughly half,
+    // the cold sessions split the rest evenly. Submission interleaves
+    // the sessions round-robin so queue-full rejections spread
+    // instead of always hitting whoever submits last.
+    const std::size_t offeredPerRound = std::max<std::size_t>(
+        sessions, static_cast<std::size_t>(
+                      multiplier * static_cast<double>(maxBatch)));
+    std::vector<std::size_t> offerOf(sessions);
+    const std::size_t coldEach = std::max<std::size_t>(
+        1, offeredPerRound / (2 * (sessions - 1)));
+    for (std::size_t s = 1; s < sessions; ++s)
+        offerOf[s] = coldEach;
+    offerOf[0] = offeredPerRound - coldEach * (sessions - 1);
+
+    Vector query(d);
+    for (auto &x : query)
+        x = static_cast<float>(rng.normal());
+
+    OverloadRow row;
+    row.offeredMultiplier = multiplier;
+    row.regime = multiplier > 1.0 ? "over" : "under";
+    row.rounds = rounds;
+    row.maxBatch = maxBatch;
+    row.queueDepth = policy.maxQueueDepth;
+    std::map<std::string, std::uint64_t> answeredOf;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        std::vector<std::size_t> remaining = offerOf;
+        bool exhausted = false;
+        while (!exhausted) {
+            exhausted = true;
+            for (std::size_t s = 0; s < sessions; ++s) {
+                if (remaining[s] == 0)
+                    continue;
+                --remaining[s];
+                exhausted = false;
+                ++row.offered;
+                if (scheduler.submit(ids[s], query).admitted())
+                    ++row.admitted;
+            }
+        }
+        row.maxPending = std::max(row.maxPending, scheduler.pending());
+        if (scheduler.pending() > policy.maxQueueDepth)
+            fatal("queue depth bound violated");
+        for (const ServingResult &done : scheduler.drain()) {
+            ++answeredOf[done.session];
+            ++row.answered;
+        }
+    }
+    row.rejected = row.offered - row.admitted;
+    row.shedRate = row.offered > 0
+                       ? static_cast<double>(row.rejected) /
+                             static_cast<double>(row.offered)
+                       : 0.0;
+
+    // Completion share of each session, normalized by its weight
+    // share: 1.0 means exactly the fair weighted share.
+    double minRatio = 0.0;
+    double maxRatio = 0.0;
+    for (std::size_t s = 0; s < sessions; ++s) {
+        const double share =
+            row.answered > 0
+                ? static_cast<double>(answeredOf[ids[s]]) /
+                      static_cast<double>(row.answered)
+                : 0.0;
+        const double weightShare =
+            static_cast<double>(s == 0 ? hotWeight : 1) /
+            static_cast<double>(weightSum);
+        const double ratio = share / weightShare;
+        if (s == 0) {
+            minRatio = maxRatio = ratio;
+        } else {
+            minRatio = std::min(minRatio, ratio);
+            maxRatio = std::max(maxRatio, ratio);
+        }
+    }
+    row.fairShareMin = minRatio;
+    row.fairShareMax = maxRatio;
+    row.starvationRatio = minRatio > 0.0 ? maxRatio / minRatio : 0.0;
+
+    const BatchSchedulerStats stats = scheduler.stats();
+    row.queueWaitP50 = stats.queueWaitP50;
+    row.queueWaitP95 = stats.queueWaitP95;
+    row.queueWaitP99 = stats.queueWaitP99;
+    row.drainServiceP95 = stats.drainServiceP95;
+    return row;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string csvPath;
+    std::size_t rounds = 40;
+    std::size_t maxBatch = 32;
+    std::size_t rows = 320;
+    for (int i = 1; i < argc; ++i) {
+        const auto parsePositive = [&](const char *flag) {
+            if (i + 1 >= argc)
+                fatal(flag, " needs a value");
+            const long parsed = std::atol(argv[++i]);
+            if (parsed <= 0)
+                fatal(flag, " must be a positive integer, got \"",
+                      argv[i], "\"");
+            return static_cast<std::size_t>(parsed);
+        };
+        if (std::strcmp(argv[i], "--rounds") == 0)
+            rounds = parsePositive("--rounds");
+        else if (std::strcmp(argv[i], "--max-batch") == 0)
+            maxBatch = parsePositive("--max-batch");
+        else if (std::strcmp(argv[i], "--rows") == 0)
+            rows = parsePositive("--rows");
+        else
+            csvPath = argv[i];
+    }
+
+    const std::size_t d = 64;
+    const std::size_t hw = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+    AttentionEngine engine(hw);
+
+    std::vector<OverloadRow> table;
+    for (const double multiplier : {0.5, 1.0, 2.0, 4.0}) {
+        table.push_back(measureOverload(engine, multiplier, rounds,
+                                        maxBatch, rows, d));
+    }
+
+    std::printf("{\n  \"overload\": [\n");
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const OverloadRow &r = table[i];
+        std::printf(
+            "    {\"offered_multiplier\": %.1f, \"regime\": \"%s\", "
+            "\"rounds\": %zu, \"max_batch\": %zu, "
+            "\"queue_depth\": %zu, \"offered\": %llu, "
+            "\"admitted\": %llu, \"rejected\": %llu, "
+            "\"shed_rate\": %.4f, \"answered\": %llu, "
+            "\"max_pending\": %zu, \"fair_share_min\": %.4f, "
+            "\"fair_share_max\": %.4f, \"starvation_ratio\": %.4f, "
+            "\"queue_wait_p50_seconds\": %.3e, "
+            "\"queue_wait_p95_seconds\": %.3e, "
+            "\"queue_wait_p99_seconds\": %.3e, "
+            "\"drain_service_p95_seconds\": %.3e}%s\n",
+            r.offeredMultiplier, r.regime, r.rounds, r.maxBatch,
+            r.queueDepth, static_cast<unsigned long long>(r.offered),
+            static_cast<unsigned long long>(r.admitted),
+            static_cast<unsigned long long>(r.rejected), r.shedRate,
+            static_cast<unsigned long long>(r.answered), r.maxPending,
+            r.fairShareMin, r.fairShareMax, r.starvationRatio,
+            r.queueWaitP50, r.queueWaitP95, r.queueWaitP99,
+            r.drainServiceP95, i + 1 < table.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+
+    if (!csvPath.empty()) {
+        CsvWriter csv(csvPath);
+        csv.writeRow({"offered_multiplier", "offered", "admitted",
+                      "rejected", "shed_rate", "answered",
+                      "max_pending", "fair_share_min",
+                      "starvation_ratio", "queue_wait_p99_seconds"});
+        for (const OverloadRow &r : table) {
+            csv.writeRow({std::to_string(r.offeredMultiplier),
+                          std::to_string(r.offered),
+                          std::to_string(r.admitted),
+                          std::to_string(r.rejected),
+                          std::to_string(r.shedRate),
+                          std::to_string(r.answered),
+                          std::to_string(r.maxPending),
+                          std::to_string(r.fairShareMin),
+                          std::to_string(r.starvationRatio),
+                          std::to_string(r.queueWaitP99)});
+        }
+    }
+    return 0;
+}

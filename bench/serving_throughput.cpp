@@ -190,6 +190,10 @@ struct SchedulerRow
     /** Steady-state scheduler counters over the measured drains. */
     std::uint64_t answered = 0;
     std::uint64_t coalescedGroups = 0;
+    /** Reservoir percentiles over the measured drains (seconds). */
+    double queueWaitP50 = 0.0;
+    double queueWaitP99 = 0.0;
+    double drainServiceP95 = 0.0;
 };
 
 SchedulerRow
@@ -250,6 +254,9 @@ measureScheduler(std::size_t sessions, std::size_t queriesPerSession,
     const BatchSchedulerStats stats = scheduler.stats();
     row.answered = stats.answered;
     row.coalescedGroups = stats.groups;
+    row.queueWaitP50 = stats.queueWaitP50;
+    row.queueWaitP99 = stats.queueWaitP99;
+    row.drainServiceP95 = stats.drainServiceP95;
     return row;
 }
 
@@ -344,11 +351,15 @@ main(int argc, char **argv)
                     "\"queries_per_session\": %zu, \"threads\": %zu, "
                     "\"queries_per_second\": %.1f, \"repeats\": %zu, "
                     "\"answered\": %llu, "
-                    "\"coalesced_groups\": %llu}%s\n",
+                    "\"coalesced_groups\": %llu, "
+                    "\"queue_wait_p50_seconds\": %.3e, "
+                    "\"queue_wait_p99_seconds\": %.3e, "
+                    "\"drain_service_p95_seconds\": %.3e}%s\n",
                     r.sessions, r.queriesPerSession, r.threads,
                     r.queriesPerSecond, r.repeats,
                     static_cast<unsigned long long>(r.answered),
                     static_cast<unsigned long long>(r.coalescedGroups),
+                    r.queueWaitP50, r.queueWaitP99, r.drainServiceP95,
                     i + 1 < schedulerRows.size() ? "," : "");
     }
     std::printf("  ]\n}\n");

@@ -1,5 +1,8 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "util/logging.hpp"
@@ -61,6 +64,15 @@ AttentionEngine::runGroupsInto(
     const std::vector<AttentionRequestGroup> &groups,
     std::vector<std::vector<AttentionResult>> &results) const
 {
+    runGroupsInto(groups, results, GroupCompletionHook());
+}
+
+void
+AttentionEngine::runGroupsInto(
+    const std::vector<AttentionRequestGroup> &groups,
+    std::vector<std::vector<AttentionResult>> &results,
+    const GroupCompletionHook &onGroupDone) const
+{
     // Flatten all (group, query) pairs into one work list so the lanes
     // stay busy across group boundaries.
     struct WorkItem
@@ -70,18 +82,49 @@ AttentionEngine::runGroupsInto(
     };
     std::vector<WorkItem> work;
     results.resize(groups.size());
+    std::size_t maxQueries = 0;
+    std::size_t total = 0;
     for (std::size_t g = 0; g < groups.size(); ++g) {
         a3Assert(groups[g].backend != nullptr,
                  "request group ", g, " has no backend");
         results[g].resize(groups[g].queries.size());
-        for (std::size_t q = 0; q < groups[g].queries.size(); ++q)
-            work.push_back({g, q});
+        maxQueries = std::max(maxQueries, groups[g].queries.size());
+        total += groups[g].queries.size();
     }
+    // Round-robin batch formation: query q of every group lands in
+    // the list before query q+1 of any, so a huge group cannot
+    // monopolize the first lanes and every group's per-query cost is
+    // spread evenly across the pass. The interleave only reorders
+    // which lane picks up which query — each writes its own slot, so
+    // the results are bit-identical to a group-major order.
+    work.reserve(total);
+    for (std::size_t q = 0; q < maxQueries; ++q)
+        for (std::size_t g = 0; g < groups.size(); ++g)
+            if (q < groups[g].queries.size())
+                work.push_back({g, q});
+
+    // Per-group countdowns for the completion hook: the lane that
+    // takes a group's counter to zero ran its last query and owns the
+    // single report for that group.
+    std::vector<std::atomic<std::size_t>> remaining(
+        onGroupDone ? groups.size() : 0);
+    for (std::size_t g = 0; g < remaining.size(); ++g)
+        remaining[g].store(groups[g].queries.size(),
+                           std::memory_order_relaxed);
+    const auto passStart = std::chrono::steady_clock::now();
+
     pool_.parallelFor(work.size(), [&](std::size_t i) {
         const WorkItem &item = work[i];
         const AttentionRequestGroup &group = groups[item.group];
         group.backend->runInto(group.queries[item.query],
                                results[item.group][item.query]);
+        if (onGroupDone &&
+            remaining[item.group].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - passStart;
+            onGroupDone(item.group, elapsed.count());
+        }
     });
 }
 

@@ -24,6 +24,7 @@
 #define A3_ENGINE_ENGINE_HPP
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "attention/backend.hpp"
@@ -43,6 +44,18 @@ struct AttentionRequestGroup
     const AttentionBackend *backend = nullptr;
     std::vector<Vector> queries;
 };
+
+/**
+ * Per-group completion callback of runGroupsInto(): invoked exactly
+ * once per non-empty group, by whichever pool lane finishes the
+ * group's last query, with the group's index and its service time in
+ * seconds measured from the start of the batch pass. Callbacks for
+ * different groups may run concurrently, so the hook must be
+ * thread-safe across groups (within one group it is never invoked
+ * twice). Groups with no queries are not reported.
+ */
+using GroupCompletionHook =
+    std::function<void(std::size_t group, double seconds)>;
 
 /** Batched executor over AttentionBackend tasks. */
 class AttentionEngine
@@ -79,8 +92,14 @@ class AttentionEngine
     /**
      * Answer several request groups (multi-head or multi-sequence):
      * all (group, query) pairs are flattened into one work list so
-     * small groups cannot strand lanes. result[g][i] corresponds to
-     * groups[g].queries[i].
+     * small groups cannot strand lanes. The list interleaves the
+     * groups round-robin — query q of every group before query q+1 of
+     * any — so one huge group cannot monopolize the first lanes and
+     * small groups complete early (the batch-formation order the
+     * serving tier's fairness rides on). Each query still executes
+     * the sequential code path and writes only its own slot, so
+     * result[g][i] is bit-identical to groups[g].backend->
+     * run(groups[g].queries[i]) regardless of the interleave.
      */
     std::vector<std::vector<AttentionResult>>
     runGroups(const std::vector<AttentionRequestGroup> &groups) const;
@@ -94,6 +113,18 @@ class AttentionEngine
     void runGroupsInto(
         const std::vector<AttentionRequestGroup> &groups,
         std::vector<std::vector<AttentionResult>> &results) const;
+
+    /**
+     * runGroupsInto() with per-group service-time telemetry:
+     * `onGroupDone` fires as each group's last query completes (see
+     * GroupCompletionHook for the threading contract). The serving
+     * BatchScheduler feeds its latency reservoirs through this hook;
+     * the results are unchanged by its presence.
+     */
+    void runGroupsInto(
+        const std::vector<AttentionRequestGroup> &groups,
+        std::vector<std::vector<AttentionResult>> &results,
+        const GroupCompletionHook &onGroupDone) const;
 
     /**
      * Batched self-attention: preprocess (key, value) once, then

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Admission control types for the serving tier.
+ *
+ * An unbounded request queue turns overload into unbounded latency:
+ * every queued request eventually completes, but none of them on
+ * time. The serving stacks this repo grows toward (Orca-style
+ * iteration schedulers, vLLM's bounded admission — see PAPERS.md)
+ * instead bound the queue and shed excess load at submit time, so
+ * overload degrades into a predictable reject rate while admitted
+ * requests keep their latency.
+ *
+ * AdmissionPolicy is the knob set the BatchScheduler evaluates on
+ * every submit(); AdmissionOutcome is the typed verdict it returns —
+ * either an admitted ticket or the specific limit that shed the
+ * request, so callers can retry, back off, or surface the reason.
+ */
+
+#ifndef A3_SERVING_ADMISSION_HPP
+#define A3_SERVING_ADMISSION_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace a3 {
+
+/**
+ * Load-shedding limits evaluated by BatchScheduler::submit(). Every
+ * limit is 0-disabled, so the default policy admits everything — the
+ * pre-admission behavior.
+ */
+struct AdmissionPolicy
+{
+    /**
+     * Total requests that may be queued at once; a submit() that
+     * finds the queue at this depth is rejected. 0 = unbounded.
+     */
+    std::size_t maxQueueDepth = 0;
+
+    /**
+     * Pending requests one session may hold; a session at its cap is
+     * rejected without consuming global queue depth, so one chatty
+     * client cannot crowd out admission for the rest. 0 = unbounded.
+     */
+    std::size_t maxPendingPerSession = 0;
+
+    /**
+     * Budget on the summed estimated cost of queued work, in bytes of
+     * bound-backend state (AttentionBackend::memoryBytes() via
+     * SessionCache::peekBytes — a sharded 120k-row session charges
+     * its full aggregate, so a few huge-context requests can fill the
+     * budget that hundreds of small ones would not). A request whose
+     * estimate would overflow the budget is rejected unless the queue
+     * is empty: a session costlier than the whole budget must still
+     * make progress, mirroring the cache's rule that the newest bind
+     * is never evicted. 0 = unbounded.
+     */
+    std::size_t maxQueuedCostBytes = 0;
+};
+
+/** Why a submit() was admitted or shed. */
+enum class AdmissionDecision : std::uint8_t {
+    Admitted,
+    /** Queue already holds maxQueueDepth requests. */
+    RejectedQueueFull,
+    /** The session already holds maxPendingPerSession requests. */
+    RejectedSessionCap,
+    /** Estimated cost would overflow maxQueuedCostBytes. */
+    RejectedCostBudget,
+};
+
+/** Stable lowercase name of a decision, for logs and bench JSON. */
+inline const char *
+admissionDecisionName(AdmissionDecision decision)
+{
+    switch (decision) {
+    case AdmissionDecision::Admitted:
+        return "admitted";
+    case AdmissionDecision::RejectedQueueFull:
+        return "rejected_queue_full";
+    case AdmissionDecision::RejectedSessionCap:
+        return "rejected_session_cap";
+    case AdmissionDecision::RejectedCostBudget:
+        return "rejected_cost_budget";
+    }
+    return "unknown";
+}
+
+/**
+ * Verdict of one submit(): an admitted request carries its ticket
+ * (monotonic in admission order); a shed request carries the limit
+ * that rejected it and ticket 0.
+ */
+struct AdmissionOutcome
+{
+    AdmissionDecision decision = AdmissionDecision::Admitted;
+
+    /** Monotonic completion-order ticket; 0 when rejected. */
+    std::uint64_t ticket = 0;
+
+    bool admitted() const
+    {
+        return decision == AdmissionDecision::Admitted;
+    }
+};
+
+}  // namespace a3
+
+#endif  // A3_SERVING_ADMISSION_HPP

@@ -1,76 +1,271 @@
 #include "serving/batch_scheduler.hpp"
 
 #include <algorithm>
-#include <iterator>
+#include <chrono>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 
 #include "util/logging.hpp"
 
 namespace a3 {
 
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
 BatchScheduler::BatchScheduler(AttentionEngine &engine,
-                               SessionCache &cache, std::size_t maxBatch)
-    : engine_(engine), cache_(cache), maxBatch_(maxBatch)
+                               SessionCache &cache,
+                               std::size_t maxBatch,
+                               AdmissionPolicy policy)
+    : engine_(engine), cache_(cache), maxBatch_(maxBatch),
+      policy_(policy)
 {
 }
 
-std::uint64_t
+AdmissionOutcome
 BatchScheduler::submit(const std::string &session, Vector query)
 {
+    // Estimated cost before taking the scheduler lock: peekBytes
+    // holds only the cache's own lock, touches neither LRU order nor
+    // hit/miss counters, and reads 0 for an unbound session.
+    const std::size_t cost = policy_.maxQueuedCostBytes != 0
+                                 ? cache_.peekBytes(session)
+                                 : 0;
+    const double submitSeconds = nowSeconds();
+
     const std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+    if (policy_.maxQueueDepth != 0 &&
+        pendingCount_ >= policy_.maxQueueDepth) {
+        ++counters_.rejectedQueueFull;
+        return {AdmissionDecision::RejectedQueueFull, 0};
+    }
+    // Look up without inserting: a shed submit must not leave a
+    // session entry behind (state is only materialized on admission,
+    // and drain() reclaims it once the session idles again).
+    auto it = sessions_.find(session);
+    if (policy_.maxPendingPerSession != 0 && it != sessions_.end() &&
+        it->second.pending.size() >= policy_.maxPendingPerSession) {
+        ++counters_.rejectedSessionCap;
+        return {AdmissionDecision::RejectedSessionCap, 0};
+    }
+    // The cost budget never rejects into an empty queue: a session
+    // costlier than the whole budget must still make progress
+    // (mirrors the cache's never-evict-the-newest-bind rule).
+    if (policy_.maxQueuedCostBytes != 0 && pendingCount_ > 0 &&
+        queuedCostBytes_ + cost > policy_.maxQueuedCostBytes) {
+        ++counters_.rejectedCostBudget;
+        return {AdmissionDecision::RejectedCostBudget, 0};
+    }
+
+    if (it == sessions_.end())
+        it = sessions_.emplace(session, SessionState{}).first;
+    SessionState &state = it->second;
     const std::uint64_t ticket = nextTicket_++;
-    ++stats_.submitted;
-    queue_.push_back({ticket, session, std::move(query)});
-    return ticket;
+    if (state.pending.empty())
+        activeOrder_.push_back(session);
+    state.pending.push_back(
+        {ticket, std::move(query), submitSeconds, cost});
+    ++pendingCount_;
+    queuedCostBytes_ += cost;
+    return {AdmissionDecision::Admitted, ticket};
+}
+
+void
+BatchScheduler::setSessionWeight(const std::string &session,
+                                 std::size_t weight)
+{
+    a3Assert(weight > 0, "session weight must be positive");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+        // Only a non-default weight is worth materializing state
+        // for; idle default-weight sessions hold no entry at all.
+        if (weight != 1)
+            sessions_.emplace(session, SessionState{}).first
+                ->second.weight = weight;
+        return;
+    }
+    it->second.weight = weight;
+    if (weight == 1 && it->second.pending.empty())
+        sessions_.erase(it);
+}
+
+std::size_t
+BatchScheduler::sessionWeight(const std::string &session) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(session);
+    return it == sessions_.end() ? 1 : it->second.weight;
 }
 
 BatchSchedulerStats
 BatchScheduler::stats() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    // Copy the counters and raw reservoir windows under the lock,
+    // then sort and interpolate after releasing it: a monitoring
+    // thread polling stats() must not stall submit()/drain() claims
+    // for the duration of three sorts, inflating the very queue-wait
+    // tails it reports.
+    static constexpr double kFractions[3] = {0.50, 0.95, 0.99};
+    std::unique_lock<std::mutex> lock(mutex_);
+    BatchSchedulerStats out = counters_;
+    const LatencyReservoir waitWindow = queueWait_;
+    const LatencyReservoir drainWindow = drainService_;
+    const LatencyReservoir groupWindow = groupService_;
+    lock.unlock();
+    double wait[3];
+    double drain[3];
+    double group[3];
+    waitWindow.percentiles(kFractions, 3, wait);
+    drainWindow.percentiles(kFractions, 3, drain);
+    groupWindow.percentiles(kFractions, 3, group);
+    out.queueWaitP50 = wait[0];
+    out.queueWaitP95 = wait[1];
+    out.queueWaitP99 = wait[2];
+    out.drainServiceP50 = drain[0];
+    out.drainServiceP95 = drain[1];
+    out.drainServiceP99 = drain[2];
+    out.groupServiceP50 = group[0];
+    out.groupServiceP95 = group[1];
+    out.groupServiceP99 = group[2];
+    return out;
 }
 
 void
 BatchScheduler::resetCounters()
 {
     const std::lock_guard<std::mutex> lock(mutex_);
-    stats_ = BatchSchedulerStats{};
+    counters_ = BatchSchedulerStats{};
+    queueWait_.clear();
+    drainService_.clear();
+    groupService_.clear();
 }
 
 std::size_t
 BatchScheduler::pending() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return pendingCount_;
+}
+
+std::size_t
+BatchScheduler::pendingFor(const std::string &session) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(session);
+    return it == sessions_.end() ? 0 : it->second.pending.size();
+}
+
+std::size_t
+BatchScheduler::queuedCostBytes() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queuedCostBytes_;
+}
+
+std::size_t
+BatchScheduler::trackedSessions() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
 }
 
 std::vector<ServingResult>
 BatchScheduler::drain()
 {
-    // Claim this drain's share of the queue. Tickets are assigned
-    // under the same lock, so the claimed slice is ticket-ordered.
+    const double claimSeconds = nowSeconds();
+
+    // Claim this drain's share of the queue by weighted round-robin:
+    // each pass over the pending sessions hands every session up to
+    // its weight in slots, repeating until the batch is full or the
+    // queue empty, so a truncated drain interleaves sessions instead
+    // of answering the globally oldest tickets first. Within one
+    // session the FIFO preserves ticket order, and tickets are
+    // assigned under the same lock, so the per-session claim order is
+    // the per-session ticket order.
     std::vector<PendingRequest> batch;
+    std::vector<std::string> batchSession;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
+        if (pendingCount_ == 0)
+            return {};
         const std::size_t take =
-            maxBatch_ == 0 ? queue_.size()
-                           : std::min(maxBatch_, queue_.size());
+            maxBatch_ == 0 ? pendingCount_
+                           : std::min(maxBatch_, pendingCount_);
         batch.reserve(take);
-        std::move(queue_.begin(),
-                  queue_.begin() + static_cast<std::ptrdiff_t>(take),
-                  std::back_inserter(batch));
-        queue_.erase(queue_.begin(),
-                     queue_.begin() + static_cast<std::ptrdiff_t>(take));
+        batchSession.reserve(take);
+        // Rotate the round-robin start across drains so the leftover
+        // slots of a non-divisible maxBatch do not always land on the
+        // earliest-arrived session.
+        const std::size_t start = static_cast<std::size_t>(
+            drainRounds_ % activeOrder_.size());
+        ++drainRounds_;
+        while (batch.size() < take) {
+            bool progress = false;
+            for (std::size_t i = 0;
+                 i < activeOrder_.size() && batch.size() < take; ++i) {
+                const std::string &name =
+                    activeOrder_[(start + i) % activeOrder_.size()];
+                SessionState &state = sessions_[name];
+                for (std::size_t slot = 0;
+                     slot < state.weight && !state.pending.empty() &&
+                     batch.size() < take;
+                     ++slot) {
+                    PendingRequest &request = state.pending.front();
+                    // The ordering guarantee across truncation
+                    // boundaries: a session's tickets leave the queue
+                    // strictly ascending, drain after drain.
+                    a3Assert(request.ticket > state.lastClaimedTicket,
+                             "session \"", name,
+                             "\" would be answered out of ticket "
+                             "order");
+                    state.lastClaimedTicket = request.ticket;
+                    queuedCostBytes_ -= request.costBytes;
+                    batchSession.push_back(name);
+                    batch.push_back(std::move(request));
+                    state.pending.pop_front();
+                    --pendingCount_;
+                    progress = true;
+                }
+            }
+            a3Assert(progress,
+                     "round-robin made no progress with requests "
+                     "still pending");
+        }
+        // Retire drained sessions: drop them from the round-robin
+        // order and — unless a non-default weight must persist —
+        // reclaim their state entirely, so a server minting fresh
+        // session ids per conversation does not grow sessions_
+        // without bound. Tickets are globally monotonic, so a
+        // re-materialized entry (lastClaimedTicket back at 0) still
+        // satisfies the per-session ordering assert.
+        activeOrder_.erase(
+            std::remove_if(activeOrder_.begin(), activeOrder_.end(),
+                           [this](const std::string &name) {
+                               const auto entry =
+                                   sessions_.find(name);
+                               if (!entry->second.pending.empty())
+                                   return false;
+                               if (entry->second.weight == 1)
+                                   sessions_.erase(entry);
+                               return true;
+                           }),
+            activeOrder_.end());
     }
-    if (batch.empty())
-        return {};
 
     // Coalesce per session: one request group per distinct session,
-    // groups ordered by each session's first ticket, queries in
-    // ticket order within their group. The shared_ptrs pin every
+    // groups ordered by first claim, queries in ticket order within
+    // their group (the claim order). The shared_ptrs pin every
     // backend for the duration of the pass even if the cache evicts
     // the session concurrently.
     std::vector<AttentionRequestGroup> groups;
@@ -78,33 +273,43 @@ BatchScheduler::drain()
     std::vector<std::string> sessionOf;
     std::vector<std::vector<std::uint64_t>> ticketsOf;
     std::unordered_map<std::string, std::size_t> groupIndex;
-    for (PendingRequest &request : batch) {
-        const auto found = groupIndex.find(request.session);
-        std::size_t g =
-            found == groupIndex.end() ? sessionOf.size() : found->second;
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+        const std::string &session = batchSession[r];
+        const auto found = groupIndex.find(session);
+        std::size_t g = found == groupIndex.end() ? sessionOf.size()
+                                                  : found->second;
         if (g == sessionOf.size()) {
-            groupIndex.emplace(request.session, g);
+            groupIndex.emplace(session, g);
             std::shared_ptr<AttentionBackend> backend =
-                cache_.find(request.session);
+                cache_.find(session);
             if (backend == nullptr) {
-                fatal("BatchScheduler: session \"", request.session,
+                fatal("BatchScheduler: session \"", session,
                       "\" is not bound in the cache (bind it, or "
                       "re-bind after eviction, before draining)");
             }
-            sessionOf.push_back(request.session);
+            sessionOf.push_back(session);
             ticketsOf.emplace_back();
             groups.push_back({backend.get(), {}});
             pinned.push_back(std::move(backend));
         }
-        groups[g].queries.push_back(std::move(request.query));
-        ticketsOf[g].push_back(request.ticket);
+        groups[g].queries.push_back(std::move(batch[r].query));
+        ticketsOf[g].push_back(batch[r].ticket);
     }
 
     // Local results: each drain owns its buffers, so concurrent
     // drain() calls from different worker threads never share state
-    // (the claimed queue slices are already disjoint).
+    // (the claimed requests are already disjoint). The engine hook
+    // writes each group's service time into its own slot — one
+    // writer per group, per the GroupCompletionHook contract.
+    std::vector<double> groupSeconds(groups.size(), 0.0);
     std::vector<std::vector<AttentionResult>> groupResults;
-    engine_.runGroupsInto(groups, groupResults);
+    const double passStart = nowSeconds();
+    engine_.runGroupsInto(groups, groupResults,
+                          [&groupSeconds](std::size_t g,
+                                          double seconds) {
+                              groupSeconds[g] = seconds;
+                          });
+    const double passSeconds = nowSeconds() - passStart;
 
     std::vector<ServingResult> completions;
     completions.reserve(batch.size());
@@ -120,9 +325,19 @@ BatchScheduler::drain()
               });
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.drains;
-        stats_.answered += completions.size();
-        stats_.groups += groups.size();
+        ++counters_.drains;
+        counters_.answered += completions.size();
+        counters_.groups += groups.size();
+        // Queue wait is measured submit-to-claim; a submit that raced
+        // in between our clock read and the claim lock can look
+        // sub-zero by the race window, so clamp at 0.
+        for (const PendingRequest &request : batch) {
+            queueWait_.add(std::max(
+                0.0, claimSeconds - request.submitSeconds));
+        }
+        drainService_.add(passSeconds);
+        for (const double seconds : groupSeconds)
+            groupService_.add(seconds);
     }
     return completions;
 }

@@ -1,19 +1,36 @@
 /**
  * @file
- * Request coalescing for the streaming serving layer.
+ * Admission-controlled, weighted-fair request coalescing for the
+ * streaming serving layer.
  *
- * Clients submit (session, query) requests from any thread; each gets
- * a monotonically increasing ticket. drain() coalesces the pending
- * requests of each session into one AttentionRequestGroup — so every
- * query against the same context shares the preprocessed backend the
- * SessionCache holds — and drives AttentionEngine::runGroups over the
- * groups in one batched, multi-threaded pass.
+ * Clients submit (session, query) requests from any thread; each
+ * admitted request gets a monotonically increasing ticket, and each
+ * shed request gets a typed AdmissionOutcome naming the limit that
+ * rejected it (queue depth, per-session cap, or estimated-cost
+ * budget — see serving/admission.hpp). drain() forms its batch by
+ * weighted round-robin over the sessions with pending work — each
+ * pass hands every session up to its weight in slots — so one chatty
+ * or sharded-huge session cannot starve the rest when maxBatch
+ * truncates the drain. The claimed requests are coalesced into one
+ * AttentionRequestGroup per session and driven through
+ * AttentionEngine::runGroupsInto in one batched, multi-threaded pass.
  *
- * Determinism guarantee: drain() returns results sorted by ticket
- * (i.e. submission order), and every result is bit-identical to a
- * sequential backend.run(query) — the engine guarantee — regardless
- * of batch composition, coalescing, cache hits, appends between
- * drains, or the engine's thread count.
+ * Determinism guarantee: drain() returns results sorted by ticket,
+ * requests within a session are always claimed in ticket order
+ * across any sequence of truncated drains (asserted) — so drains
+ * called from one thread, or sequentially, answer each session in
+ * ticket order; concurrent drain() calls own disjoint claims and
+ * may return their batches in either order — and every answer is
+ * bit-identical to a sequential backend.run(query) — the engine
+ * guarantee — regardless of batch composition, weights, admission
+ * policy, coalescing, cache hits, appends between drains, or the
+ * engine's thread count.
+ *
+ * Telemetry: per-request queue wait (submit to claim) and per-drain /
+ * per-group service times are recorded into fixed-size
+ * LatencyReservoir windows and surfaced as p50/p95/p99 through
+ * stats(), so overload shows up as measured tail latency rather than
+ * anecdotes.
  */
 
 #ifndef A3_SERVING_BATCH_SCHEDULER_HPP
@@ -23,11 +40,14 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "attention/types.hpp"
 #include "engine/engine.hpp"
+#include "serving/admission.hpp"
 #include "serving/session_cache.hpp"
+#include "util/stats.hpp"
 
 namespace a3 {
 
@@ -39,10 +59,15 @@ struct ServingResult
     AttentionResult result;
 };
 
-/** Monotonic usage counters of one BatchScheduler. */
+/**
+ * Usage counters and latency percentiles of one BatchScheduler.
+ * Counters are monotonic since construction or resetCounters();
+ * percentiles are computed over the retained reservoir windows at
+ * stats() time and are 0 until the first samples land.
+ */
 struct BatchSchedulerStats
 {
-    /** Requests enqueued through submit(). */
+    /** submit() calls, admitted or shed. */
     std::uint64_t submitted = 0;
 
     /** Completions returned by drain(). */
@@ -55,9 +80,43 @@ struct BatchSchedulerStats
      * distinct session per drain); answered / groups is the
      * coalescing factor. */
     std::uint64_t groups = 0;
+
+    /** Submits shed because the queue held maxQueueDepth requests. */
+    std::uint64_t rejectedQueueFull = 0;
+
+    /** Submits shed by a session's maxPendingPerSession cap. */
+    std::uint64_t rejectedSessionCap = 0;
+
+    /** Submits shed by the maxQueuedCostBytes budget. */
+    std::uint64_t rejectedCostBudget = 0;
+
+    /** Total shed submits; submitted - rejected() were admitted. */
+    std::uint64_t rejected() const
+    {
+        return rejectedQueueFull + rejectedSessionCap +
+               rejectedCostBudget;
+    }
+
+    /** Seconds from submit() to the drain that claimed the request. */
+    double queueWaitP50 = 0.0;
+    double queueWaitP95 = 0.0;
+    double queueWaitP99 = 0.0;
+
+    /** Seconds one drain spent in the batched engine pass. */
+    double drainServiceP50 = 0.0;
+    double drainServiceP95 = 0.0;
+    double drainServiceP99 = 0.0;
+
+    /** Seconds from pass start until one session group completed. */
+    double groupServiceP50 = 0.0;
+    double groupServiceP95 = 0.0;
+    double groupServiceP99 = 0.0;
 };
 
-/** Coalescing batch executor over cached per-session backends. */
+/**
+ * Admission-controlled, weighted-fair coalescing batch executor over
+ * cached per-session backends.
+ */
 class BatchScheduler
 {
   public:
@@ -66,38 +125,77 @@ class BatchScheduler
      * @param cache session cache requests resolve against (borrowed).
      * @param maxBatch cap on requests answered per drain(); 0 = all
      *        pending. Excess requests stay queued for the next drain.
+     * @param policy load-shedding limits evaluated on every submit();
+     *        the default admits everything.
      */
     BatchScheduler(AttentionEngine &engine, SessionCache &cache,
-                   std::size_t maxBatch = 0);
+                   std::size_t maxBatch = 0,
+                   AdmissionPolicy policy = AdmissionPolicy());
 
     /**
-     * Enqueue one request against a session and return its ticket.
-     * Thread-safe; tickets increase in submission order. The session
-     * must be bound in the cache by the time drain() runs.
+     * Enqueue one request against a session, or shed it per the
+     * admission policy. Thread-safe; tickets of admitted requests
+     * increase in admission order. The session must be bound in the
+     * cache by the time drain() runs (and already bound at submit()
+     * for the cost budget to see its bytes — an unbound session's
+     * estimated cost is 0).
      */
-    std::uint64_t submit(const std::string &session, Vector query);
+    AdmissionOutcome submit(const std::string &session, Vector query);
+
+    /**
+     * Weighted-round-robin share of `session`: up to `weight`
+     * requests per scheduling pass while other sessions wait (>= 1;
+     * every session defaults to 1). Takes effect at the next drain();
+     * the weight persists even while the session has no pending work.
+     */
+    void setSessionWeight(const std::string &session,
+                          std::size_t weight);
+
+    /** Current weight of `session` (1 unless set). */
+    std::size_t sessionWeight(const std::string &session) const;
+
+    /** The admission policy evaluated by submit(). */
+    const AdmissionPolicy &policy() const { return policy_; }
 
     /** Requests currently queued. */
     std::size_t pending() const;
 
+    /** Requests currently queued for one session. */
+    std::size_t pendingFor(const std::string &session) const;
+
+    /** Summed estimated cost (bytes) of the queued requests. */
+    std::size_t queuedCostBytes() const;
+
     /**
-     * Answer up to maxBatch queued requests in one batched engine
-     * pass and return the completions sorted by ticket. Sessions are
+     * Sessions currently holding scheduler state: pending work or a
+     * non-default weight. Fully drained default-weight sessions are
+     * reclaimed, so a server minting fresh session ids per
+     * conversation does not grow the scheduler without bound.
+     */
+    std::size_t trackedSessions() const;
+
+    /**
+     * Claim up to maxBatch queued requests by weighted round-robin
+     * over the pending sessions, answer them in one batched engine
+     * pass, and return the completions sorted by ticket. Sessions are
      * looked up in the cache once per drain (holding the backend
      * alive across any concurrent eviction); an unbound session is a
      * fatal error naming the session id. Thread-safe: concurrent
-     * drain() calls claim disjoint queue slices and own their result
-     * buffers (each call returns its own slice's completions).
+     * drain() calls claim disjoint requests and own their result
+     * buffers. Within one session, requests are claimed in ticket
+     * order — a truncated drain never answers a session's later
+     * ticket before an earlier one still queued (asserted).
      */
     std::vector<ServingResult> drain();
 
-    /** Snapshot of the usage counters. */
+    /** Snapshot of counters plus reservoir percentiles. */
     BatchSchedulerStats stats() const;
 
     /**
-     * Zero the usage counters; queued requests and the ticket clock
-     * are untouched. Benches and the CI regression gate reset after
-     * warm-up so the reported numbers are steady-state.
+     * Zero the usage counters and latency reservoirs; queued
+     * requests, session weights, and the ticket clock are untouched.
+     * Benches and the CI regression gate reset after warm-up so the
+     * reported numbers are steady-state.
      */
     void resetCounters();
 
@@ -105,18 +203,52 @@ class BatchScheduler
     struct PendingRequest
     {
         std::uint64_t ticket = 0;
-        std::string session;
         Vector query;
+        /** Steady-clock submit time, for the queue-wait reservoir. */
+        double submitSeconds = 0.0;
+        /** Estimated cost charged against maxQueuedCostBytes. */
+        std::size_t costBytes = 0;
     };
+
+    /** Per-session FIFO plus its scheduling state. */
+    struct SessionState
+    {
+        std::deque<PendingRequest> pending;
+        std::size_t weight = 1;
+        /**
+         * Last ticket handed to a drain, persisted across drains to
+         * assert the per-session ordering guarantee over truncation
+         * boundaries.
+         */
+        std::uint64_t lastClaimedTicket = 0;
+    };
+
+    /** Reservoir windows: large enough for stable p99s, small enough
+     *  to stay a fixed-size footprint per scheduler. */
+    static constexpr std::size_t kQueueWaitWindow = 4096;
+    static constexpr std::size_t kDrainServiceWindow = 1024;
+    static constexpr std::size_t kGroupServiceWindow = 4096;
 
     AttentionEngine &engine_;
     SessionCache &cache_;
     std::size_t maxBatch_ = 0;
+    AdmissionPolicy policy_;
 
     mutable std::mutex mutex_;
     std::uint64_t nextTicket_ = 1;
-    std::deque<PendingRequest> queue_;
-    BatchSchedulerStats stats_;
+    std::unordered_map<std::string, SessionState> sessions_;
+    /** Sessions with pending work, ordered by first-pending arrival;
+     *  the weighted round-robin iterates this. */
+    std::vector<std::string> activeOrder_;
+    /** Drains executed, rotating the round-robin start so truncation
+     *  leftovers do not always favor the earliest-arrived session. */
+    std::uint64_t drainRounds_ = 0;
+    std::size_t pendingCount_ = 0;
+    std::size_t queuedCostBytes_ = 0;
+    BatchSchedulerStats counters_;
+    LatencyReservoir queueWait_{kQueueWaitWindow};
+    LatencyReservoir drainService_{kDrainServiceWindow};
+    LatencyReservoir groupService_{kGroupServiceWindow};
 };
 
 }  // namespace a3

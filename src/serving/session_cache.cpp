@@ -32,8 +32,9 @@ SessionCache::find(const std::string &session)
 }
 
 std::shared_ptr<AttentionBackend>
-SessionCache::bind(const std::string &session, const EngineConfig &config,
-                   Matrix key, Matrix value)
+SessionCache::bind(const std::string &session,
+                   const EngineConfig &config, Matrix key,
+                   Matrix value)
 {
     {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -125,6 +126,14 @@ SessionCache::enforceBudgetLocked(const std::string &keep)
         lru_.pop_back();
         ++stats_.evictions;
     }
+}
+
+std::size_t
+SessionCache::peekBytes(const std::string &session) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(session);
+    return it == entries_.end() ? 0 : it->second.bytes;
 }
 
 bool

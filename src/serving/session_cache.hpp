@@ -99,6 +99,16 @@ class SessionCache
     void append(const std::string &session, const Matrix &keyRows,
                 const Matrix &valueRows);
 
+    /**
+     * Bytes of backend state bound to `session` (its cached
+     * memoryBytes()), or 0 when unbound — the admission-control cost
+     * estimate. Unlike find(), this touches neither the LRU order nor
+     * the hit/miss counters: probing a session's cost to decide
+     * admission must not make it look recently used or skew the
+     * cache's reuse statistics.
+     */
+    std::size_t peekBytes(const std::string &session) const;
+
     /** Drop one session; returns whether it was bound. */
     bool erase(const std::string &session);
 

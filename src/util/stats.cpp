@@ -110,19 +110,76 @@ Histogram::cumulativeFraction(std::size_t index) const
     return static_cast<double>(running) / static_cast<double>(inRange);
 }
 
+LatencyReservoir::LatencyReservoir(std::size_t capacity)
+    : capacity_(capacity)
+{
+    a3Assert(capacity > 0, "reservoir needs a positive capacity");
+    samples_.reserve(capacity);
+}
+
+void
+LatencyReservoir::add(double sample)
+{
+    if (size_ < capacity_) {
+        samples_.push_back(sample);
+        ++size_;
+    } else {
+        samples_[next_] = sample;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++count_;
+}
+
+double
+LatencyReservoir::percentile(double fraction) const
+{
+    if (size_ == 0)
+        return 0.0;
+    return a3::percentile(samples_, fraction);
+}
+
+void
+LatencyReservoir::percentiles(const double *fractions,
+                              std::size_t count, double *out) const
+{
+    if (size_ == 0) {
+        std::fill(out, out + count, 0.0);
+        return;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = percentileSorted(sorted, fractions[i]);
+}
+
+void
+LatencyReservoir::clear()
+{
+    samples_.clear();
+    next_ = 0;
+    size_ = 0;
+    count_ = 0;
+}
+
 double
 percentile(std::vector<double> samples, double fraction)
 {
-    a3Assert(!samples.empty(), "percentile of empty sample set");
+    std::sort(samples.begin(), samples.end());
+    return percentileSorted(samples, fraction);
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double fraction)
+{
+    a3Assert(!sorted.empty(), "percentile of empty sample set");
     a3Assert(fraction >= 0.0 && fraction <= 1.0,
              "percentile fraction must lie in [0, 1]");
-    std::sort(samples.begin(), samples.end());
-    const double rank = fraction * static_cast<double>(samples.size() - 1);
+    const double rank = fraction * static_cast<double>(sorted.size() - 1);
     const auto below = static_cast<std::size_t>(rank);
     const double frac = rank - static_cast<double>(below);
-    if (below + 1 >= samples.size())
-        return samples.back();
-    return samples[below] * (1.0 - frac) + samples[below + 1] * frac;
+    if (below + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[below] * (1.0 - frac) + sorted[below + 1] * frac;
 }
 
 }  // namespace a3

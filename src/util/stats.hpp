@@ -7,6 +7,7 @@
 #define A3_UTIL_STATS_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -104,6 +105,68 @@ class Histogram
 
 /** Exact percentile (linear interpolation) of a sample vector; sorts a copy. */
 double percentile(std::vector<double> samples, double fraction);
+
+/** percentile() over an already-sorted ascending sample vector —
+ *  multi-quantile readers sort once and interpolate per fraction. */
+double percentileSorted(const std::vector<double> &sorted,
+                        double fraction);
+
+/**
+ * Fixed-capacity sliding window over the most recent samples — the
+ * bounded store behind the serving tier's latency percentiles. add()
+ * is O(1) and never allocates after construction, so a scheduler can
+ * record every request without unbounded growth; once `capacity`
+ * samples have been seen, each add() overwrites the oldest retained
+ * sample (a deterministic last-N window, not randomized reservoir
+ * sampling, so seeded runs reproduce identical tails). percentile()
+ * reads the retained window through a3::percentile().
+ */
+class LatencyReservoir
+{
+  public:
+    /** @param capacity retained window size (> 0). */
+    explicit LatencyReservoir(std::size_t capacity);
+
+    /** Record one sample, evicting the oldest when full. */
+    void add(double sample);
+
+    /** Retained window size. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Samples currently retained (<= capacity). */
+    std::size_t size() const { return size_; }
+
+    /** Total samples ever recorded, including evicted ones. */
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * Exact percentile over the retained window (linear
+     * interpolation); 0 when no samples have been recorded, so a
+     * stats snapshot taken before any traffic is well-defined.
+     */
+    double percentile(double fraction) const;
+
+    /**
+     * Several percentiles over one sorted copy of the window:
+     * out[i] = percentile(fractions[i]), but the window is copied
+     * and sorted once instead of per fraction — what a stats
+     * snapshot reading p50/p95/p99 under a lock wants. Zeros when
+     * empty.
+     */
+    void percentiles(const double *fractions, std::size_t count,
+                     double *out) const;
+
+    /** Drop every retained sample and zero the total count. */
+    void clear();
+
+  private:
+    std::size_t capacity_ = 0;
+    std::vector<double> samples_;
+    /** Slot the next add() overwrites once the window is full. */
+    std::size_t next_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t count_ = 0;
+};
 
 }  // namespace a3
 

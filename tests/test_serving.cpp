@@ -316,8 +316,9 @@ TEST(BatchScheduler, TicketOrderedBitIdenticalCompletions)
     for (int round = 0; round < 12; ++round) {
         const std::string &session = sessions[round % sessions.size()];
         Vector q = randomQuery(rng, d);
-        const std::uint64_t ticket = scheduler.submit(session, q);
-        submitted.push_back({ticket, session, std::move(q)});
+        const AdmissionOutcome outcome = scheduler.submit(session, q);
+        ASSERT_TRUE(outcome.admitted());
+        submitted.push_back({outcome.ticket, session, std::move(q)});
     }
     EXPECT_EQ(scheduler.pending(), 12u);
 
@@ -343,8 +344,9 @@ TEST(BatchScheduler, TicketOrderedBitIdenticalCompletions)
     for (int round = 0; round < 6; ++round) {
         const std::string &session = sessions[round % 2];  // alpha/beta
         Vector q = randomQuery(rng, d);
-        const std::uint64_t ticket = scheduler.submit(session, q);
-        wave2.push_back({ticket, session, std::move(q)});
+        const AdmissionOutcome outcome = scheduler.submit(session, q);
+        ASSERT_TRUE(outcome.admitted());
+        wave2.push_back({outcome.ticket, session, std::move(q)});
     }
     const std::vector<ServingResult> completions2 = scheduler.drain();
     ASSERT_EQ(completions2.size(), wave2.size());
@@ -469,7 +471,7 @@ TEST(BatchScheduler, StatsCountAndReset)
     // Reset zeroes the counters but not the ticket clock: benches
     // measure steady-state after warm-up without perturbing order.
     const std::uint64_t before =
-        scheduler.submit("a", randomQuery(rng, d));
+        scheduler.submit("a", randomQuery(rng, d)).ticket;
     scheduler.resetCounters();
     const BatchSchedulerStats zeroed = scheduler.stats();
     EXPECT_EQ(zeroed.submitted, 0u);
@@ -477,7 +479,7 @@ TEST(BatchScheduler, StatsCountAndReset)
     EXPECT_EQ(zeroed.drains, 0u);
     EXPECT_EQ(zeroed.groups, 0u);
     const std::uint64_t after =
-        scheduler.submit("a", randomQuery(rng, d));
+        scheduler.submit("a", randomQuery(rng, d)).ticket;
     EXPECT_LT(before, after);
     EXPECT_EQ(scheduler.drain().size(), 2u);
     EXPECT_EQ(scheduler.stats().answered, 2u);

@@ -453,7 +453,8 @@ TEST(ShardedBackend, ServesThroughSessionCacheAndScheduler)
     std::vector<std::uint64_t> tickets;
     for (int i = 0; i < 6; ++i) {
         queries.push_back(randomQuery(rng, d));
-        tickets.push_back(scheduler.submit("huge", queries.back()));
+        tickets.push_back(
+            scheduler.submit("huge", queries.back()).ticket);
     }
     const std::vector<ServingResult> completions = scheduler.drain();
     ASSERT_EQ(completions.size(), queries.size());

@@ -214,6 +214,41 @@ TEST(Percentile, InterpolatesLinearly)
     EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
 }
 
+TEST(LatencyReservoir, RetainsLastWindowDeterministically)
+{
+    LatencyReservoir reservoir(4);
+    EXPECT_EQ(reservoir.capacity(), 4u);
+    // Empty reservoir: well-defined zeros, no assert.
+    EXPECT_EQ(reservoir.size(), 0u);
+    EXPECT_EQ(reservoir.count(), 0u);
+    EXPECT_DOUBLE_EQ(reservoir.percentile(0.99), 0.0);
+
+    for (double s = 1.0; s <= 6.0; s += 1.0)
+        reservoir.add(s);
+    // Sliding window: 1 and 2 were evicted, 3..6 retained; count
+    // still reflects every sample ever recorded.
+    EXPECT_EQ(reservoir.size(), 4u);
+    EXPECT_EQ(reservoir.count(), 6u);
+    EXPECT_DOUBLE_EQ(reservoir.percentile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(reservoir.percentile(1.0), 6.0);
+    EXPECT_DOUBLE_EQ(reservoir.percentile(0.5), 4.5);
+    // Multi-quantile read over one sorted copy matches per-fraction
+    // reads.
+    const double fractions[3] = {0.0, 0.5, 1.0};
+    double out[3] = {-1.0, -1.0, -1.0};
+    reservoir.percentiles(fractions, 3, out);
+    EXPECT_DOUBLE_EQ(out[0], 3.0);
+    EXPECT_DOUBLE_EQ(out[1], 4.5);
+    EXPECT_DOUBLE_EQ(out[2], 6.0);
+
+    reservoir.clear();
+    EXPECT_EQ(reservoir.size(), 0u);
+    EXPECT_EQ(reservoir.count(), 0u);
+    EXPECT_DOUBLE_EQ(reservoir.percentile(0.5), 0.0);
+    reservoir.add(7.0);
+    EXPECT_DOUBLE_EQ(reservoir.percentile(0.5), 7.0);
+}
+
 TEST(Table, RendersAlignedColumns)
 {
     Table t("Demo");

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Gate bench JSON metrics against a committed baseline.
 
-Reads the JSON emitted by bench/engine_throughput and
-bench/serving_throughput plus a baseline file (default
-bench/baselines/ci_baseline.json) describing the metrics to gate,
-and fails (exit 1) when any metric regresses past the tolerance
-factor: for higher-is-better metrics the current value must be at
-least baseline / tolerance; for lower-is-better, at most
-baseline * tolerance. The default tolerance of 2.0 means ">2x
-regressions fail" while absorbing the noise of shared CI runners.
+Reads the JSON emitted by bench/engine_throughput,
+bench/serving_throughput, and bench/overload_fairness plus a
+baseline file (default bench/baselines/ci_baseline.json) describing
+the metrics to gate, and fails (exit 1) when any metric regresses
+past the tolerance factor: for higher-is-better metrics the current
+value must be at least baseline / tolerance; for lower-is-better, at
+most baseline * tolerance. The default tolerance of 2.0 means ">2x
+regressions fail" while absorbing the noise of shared CI runners;
+count-derived metrics (shed rate, fairness shares) are deterministic
+and carry tighter per-metric tolerances in the baseline.
 
 Baseline format (see bench/baselines/ci_baseline.json):
 
@@ -39,9 +41,10 @@ Local usage, from the repository root:
     ./build/bench/engine_throughput --repeats 5 --batch 16 > eng.json
     ./build/bench/serving_throughput --repeats 5 --max-rows 512 \
         > srv.json
+    ./build/bench/overload_fairness --rounds 20 > ovl.json
     python3 tools/check_bench_regression.py \
         --baseline bench/baselines/ci_baseline.json \
-        --engine eng.json --serving srv.json
+        --engine eng.json --serving srv.json --overload ovl.json
 """
 
 import argparse
@@ -126,6 +129,8 @@ def main():
                         help="engine_throughput JSON output")
     parser.add_argument("--serving",
                         help="serving_throughput JSON output")
+    parser.add_argument("--overload",
+                        help="overload_fairness JSON output")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="override the baseline's tolerance")
     args = parser.parse_args()
@@ -139,6 +144,8 @@ def main():
         docs["engine"] = load_json(args.engine)
     if args.serving:
         docs["serving"] = load_json(args.serving)
+    if args.overload:
+        docs["overload"] = load_json(args.overload)
 
     failures = 0
     for metric in baseline["metrics"]:
