@@ -2,11 +2,20 @@
  * @file
  * AttentionEngine throughput sweep: queries/sec for batch sizes
  * {1, 16, 128} x thread counts {1, hardware_concurrency} x kernel
- * variants {scalar, widest SIMD} x backends {reference, approx},
- * against one preprocessed 320 x 64 task (the BERT shape of Section
- * VI-A). The kernel-variant column turns the SIMD layer's speedup
- * into a reported number: compare rows that differ only in "kernels",
- * or read the precomputed speedup_vs_scalar field.
+ * variants {scalar, widest SIMD} x backends {reference, approx,
+ * quantized in each K/V lane layout}, against one preprocessed
+ * 320 x 64 task (the BERT shape of Section VI-A). The kernel-variant
+ * column turns the SIMD layer's speedup into a reported number:
+ * compare rows that differ only in "kernels", or read the precomputed
+ * speedup_vs_scalar field.
+ *
+ * The quantized rows sweep the packed K/V layouts (word32 foil at the
+ * paper-default i=4/f=4, int8 at i=3/f=4, int4 at i=1/f=2) and report
+ * the memory side of the story: bytes_per_query is the bound task
+ * footprint every query streams through, qps_per_gb divides
+ * throughput by that footprint (the serving-density figure of merit),
+ * and speedup_vs_word32 / bytes_ratio_vs_word32 compare each packed
+ * row against the word32 row with the same kernels/threads/batch.
  *
  * Emits a JSON array on stdout (one object per configuration, timing
  * aggregated with util/stats' RunningStat); pass a path argument to
@@ -25,8 +34,10 @@
 
 #include "attention/approx_attention.hpp"
 #include "attention/backend.hpp"
+#include "attention/quantized.hpp"
 #include "bench_common.hpp"
 #include "engine/engine.hpp"
+#include "fixed/packed.hpp"
 #include "kernels/kernels.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
@@ -40,6 +51,8 @@ using namespace a3;
 struct SweepRow
 {
     std::string backend;
+    /** K/V storage layout: "float32", "word32", "int8", or "int4". */
+    std::string kvFormat;
     std::string kernels;
     std::size_t batch = 0;
     std::size_t threads = 0;
@@ -49,6 +62,13 @@ struct SweepRow
     std::size_t repeats = 0;
     /** SIMD-vs-scalar throughput ratio; 1.0 on the scalar rows. */
     double speedupVsScalar = 1.0;
+    /** Bound task footprint (memoryBytes) each query streams over. */
+    std::size_t bytesPerQuery = 0;
+    /** Serving density: queries/sec per GiB of bound task state. */
+    double qpsPerGb = 0.0;
+    /** Packed-vs-word32 ratios; 1.0 outside the packed rows. */
+    double speedupVsWord32 = 1.0;
+    double bytesRatioVsWord32 = 1.0;
 };
 
 double
@@ -62,7 +82,8 @@ now()
 
 SweepRow
 measure(const AttentionEngine &engine, const AttentionBackend &backend,
-        const std::vector<Vector> &queries, std::size_t repeats)
+        const std::string &kvFormat, const std::vector<Vector> &queries,
+        std::size_t repeats)
 {
     // Warm-up pass: pulls the task into cache, spins the pool up, and
     // grows every lane's Scratch arena to task size.
@@ -80,6 +101,7 @@ measure(const AttentionEngine &engine, const AttentionBackend &backend,
 
     SweepRow row;
     row.backend = backend.name();
+    row.kvFormat = kvFormat;
     row.kernels = kernelIsaName(activeKernels().isa);
     row.batch = queries.size();
     row.threads = engine.threads();
@@ -89,6 +111,10 @@ measure(const AttentionEngine &engine, const AttentionBackend &backend,
     row.queriesPerSecond =
         static_cast<double>(queries.size()) / batchSeconds.min();
     row.repeats = batchSeconds.count();
+    row.bytesPerQuery = backend.memoryBytes();
+    row.qpsPerGb = row.queriesPerSecond /
+                   (static_cast<double>(row.bytesPerQuery) /
+                    (1024.0 * 1024.0 * 1024.0));
     return row;
 }
 
@@ -135,12 +161,33 @@ main(int argc, char **argv)
         }
     }
     // reference = the pure float scoring path (dot + softmax +
-    // weighted sum, no selection); approx = the paper's software flow.
+    // weighted sum, no selection); approx = the paper's software flow;
+    // the quantized trio differs only in K/V lane layout so the packed
+    // columns compare like against like. The word32 foil keeps the
+    // paper-default i=4/f=4; the packed rows use the widest formats
+    // their lanes hold losslessly (Auto resolution).
     const ReferenceAttention reference(key, value);
     const ApproxAttention approx(key, value,
                                  ApproxConfig::conservative());
-    const std::vector<const AttentionBackend *> backends{&reference,
-                                                         &approx};
+    const QuantizedAttention quantWord32(key, value, 4, 4,
+                                         PackedKvFormat::Word32);
+    const QuantizedAttention quantInt8(key, value, 3, 4);
+    const QuantizedAttention quantInt4(key, value, 1, 2);
+    a3Assert(quantInt8.packedFormat() == PackedKvFormat::Int8 &&
+                 quantInt4.packedFormat() == PackedKvFormat::Int4,
+             "Auto did not resolve to the expected packed lanes");
+
+    struct BackendEntry
+    {
+        const AttentionBackend *backend;
+        const char *kvFormat;
+    };
+    const std::vector<BackendEntry> backends{
+        {&reference, "float32"},
+        {&approx, "float32"},
+        {&quantWord32, "word32"},
+        {&quantInt8, "int8"},
+        {&quantInt4, "int4"}};
 
     std::vector<Vector> pool(128);
     for (auto &q : pool) {
@@ -170,14 +217,15 @@ main(int argc, char **argv)
     std::vector<SweepRow> rows;
     for (const Kernels *variant : variants) {
         setActiveKernels(*variant);
-        for (const AttentionBackend *backend : backends) {
+        for (const BackendEntry &entry : backends) {
             for (std::size_t threads : threadCounts) {
                 const AttentionEngine engine(threads);
                 for (std::size_t batch : batches) {
                     const std::vector<Vector> queries(
                         pool.begin(),
                         pool.begin() + static_cast<long>(batch));
-                    rows.push_back(measure(engine, *backend, queries,
+                    rows.push_back(measure(engine, *entry.backend,
+                                           entry.kvFormat, queries,
                                            repeats));
                 }
             }
@@ -186,18 +234,37 @@ main(int argc, char **argv)
     setActiveKernels(selectKernels());
 
     // Fill in speedup_vs_scalar on the SIMD rows from the matching
-    // scalar row (same backend/threads/batch).
+    // scalar row (same backend/layout/threads/batch), and the
+    // packed-vs-word32 ratios on the int8/int4 rows from the word32
+    // foil measured with the same kernels/threads/batch.
     for (SweepRow &row : rows) {
-        if (row.kernels == "scalar")
+        if (row.kernels != "scalar") {
+            for (const SweepRow &base : rows) {
+                if (base.kernels == "scalar" &&
+                    base.backend == row.backend &&
+                    base.kvFormat == row.kvFormat &&
+                    base.threads == row.threads &&
+                    base.batch == row.batch &&
+                    base.queriesPerSecond > 0.0) {
+                    row.speedupVsScalar =
+                        row.queriesPerSecond / base.queriesPerSecond;
+                    break;
+                }
+            }
+        }
+        if (row.kvFormat != "int8" && row.kvFormat != "int4")
             continue;
         for (const SweepRow &base : rows) {
-            if (base.kernels == "scalar" &&
-                base.backend == row.backend &&
+            if (base.kvFormat == "word32" &&
+                base.kernels == row.kernels &&
                 base.threads == row.threads &&
                 base.batch == row.batch &&
                 base.queriesPerSecond > 0.0) {
-                row.speedupVsScalar =
+                row.speedupVsWord32 =
                     row.queriesPerSecond / base.queriesPerSecond;
+                row.bytesRatioVsWord32 =
+                    static_cast<double>(row.bytesPerQuery) /
+                    static_cast<double>(base.bytesPerQuery);
                 break;
             }
         }
@@ -206,34 +273,49 @@ main(int argc, char **argv)
     std::printf("[\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const SweepRow &r = rows[i];
-        std::printf("  {\"backend\": \"%s\", \"kernels\": \"%s\", "
+        std::printf("  {\"backend\": \"%s\", \"kv_format\": \"%s\", "
+                    "\"kernels\": \"%s\", "
                     "\"batch\": %zu, \"threads\": %zu, "
                     "\"queries_per_second\": %.1f, "
                     "\"mean_batch_seconds\": %.3e, "
                     "\"stddev_batch_seconds\": %.3e, "
                     "\"repeats\": %zu, "
-                    "\"speedup_vs_scalar\": %.2f}%s\n",
-                    r.backend.c_str(), r.kernels.c_str(), r.batch,
-                    r.threads, r.queriesPerSecond, r.meanBatchSeconds,
+                    "\"speedup_vs_scalar\": %.2f, "
+                    "\"bytes_per_query\": %zu, "
+                    "\"qps_per_gb\": %.1f, "
+                    "\"speedup_vs_word32\": %.2f, "
+                    "\"bytes_ratio_vs_word32\": %.6f}%s\n",
+                    r.backend.c_str(), r.kvFormat.c_str(),
+                    r.kernels.c_str(), r.batch, r.threads,
+                    r.queriesPerSecond, r.meanBatchSeconds,
                     r.stddevBatchSeconds, r.repeats, r.speedupVsScalar,
+                    r.bytesPerQuery, r.qpsPerGb, r.speedupVsWord32,
+                    r.bytesRatioVsWord32,
                     i + 1 < rows.size() ? "," : "");
     }
     std::printf("]\n");
 
     if (!csvPath.empty()) {
         CsvWriter csv(csvPath);
-        csv.writeRow({"backend", "kernels", "batch", "threads",
-                      "queries_per_second", "mean_batch_seconds",
-                      "stddev_batch_seconds", "repeats",
-                      "speedup_vs_scalar"});
+        csv.writeRow({"backend", "kv_format", "kernels", "batch",
+                      "threads", "queries_per_second",
+                      "mean_batch_seconds", "stddev_batch_seconds",
+                      "repeats", "speedup_vs_scalar", "bytes_per_query",
+                      "qps_per_gb", "speedup_vs_word32",
+                      "bytes_ratio_vs_word32"});
         for (const SweepRow &r : rows) {
-            csv.writeRow({r.backend, r.kernels, std::to_string(r.batch),
+            csv.writeRow({r.backend, r.kvFormat, r.kernels,
+                          std::to_string(r.batch),
                           std::to_string(r.threads),
                           std::to_string(r.queriesPerSecond),
                           std::to_string(r.meanBatchSeconds),
                           std::to_string(r.stddevBatchSeconds),
                           std::to_string(r.repeats),
-                          std::to_string(r.speedupVsScalar)});
+                          std::to_string(r.speedupVsScalar),
+                          std::to_string(r.bytesPerQuery),
+                          std::to_string(r.qpsPerGb),
+                          std::to_string(r.speedupVsWord32),
+                          std::to_string(r.bytesRatioVsWord32)});
         }
     }
     return 0;

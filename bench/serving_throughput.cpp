@@ -10,6 +10,12 @@
  *    hit for the same session, plus the cache's own counters.
  *  - "scheduler": end-to-end queries/sec of submit + drain over
  *    multiple sessions through the coalescing BatchScheduler.
+ *  - "session_capacity": how many quantized 320 x 64 sessions a
+ *    SessionCache with a fixed 4 MiB byte budget holds before its
+ *    first eviction, per packed K/V layout — the serving-density
+ *    payoff of the packed storage layer (capacity_vs_word32 is the
+ *    headline ratio). Deterministic: memoryBytes() is a pure
+ *    function of the layout and shape, no timing involved.
  *
  * Usage: serving_throughput [out.csv] [--repeats R] [--max-rows N]
  *   --max-rows N restricts the append sweep to sizes <= N (CI smoke
@@ -28,6 +34,7 @@
 #include "attention/backend.hpp"
 #include "bench_common.hpp"
 #include "engine/engine.hpp"
+#include "fixed/packed.hpp"
 #include "serving/batch_scheduler.hpp"
 #include "serving/session_cache.hpp"
 #include "util/csv.hpp"
@@ -260,6 +267,48 @@ measureScheduler(std::size_t sessions, std::size_t queriesPerSession,
     return row;
 }
 
+struct CapacityRow
+{
+    std::string kvFormat;
+    int intBits = 0;
+    int fracBits = 0;
+    std::size_t bytesPerSession = 0;
+    /** Sessions resident when the budget first forced an eviction. */
+    std::size_t sessionCapacity = 0;
+    double capacityVsWord32 = 1.0;
+};
+
+CapacityRow
+measureCapacity(const EngineConfig &config, const char *kvFormat,
+                std::size_t byteBudget, std::size_t n, std::size_t d)
+{
+    Rng rng(bench::benchSeed + 4);
+    // One task reused for every session: capacity depends only on
+    // memoryBytes(), which is shape- and layout-determined.
+    const Matrix key = randomMatrix(rng, n, d);
+    const Matrix value = randomMatrix(rng, n, d);
+
+    SessionCache cache(byteBudget);
+    CapacityRow row;
+    row.kvFormat = kvFormat;
+    row.intBits = config.intBits;
+    row.fracBits = config.fracBits;
+    // Bind until the LRU evicts: the capacity is the resident count
+    // at that moment (the newly bound session has displaced the
+    // oldest one).
+    for (std::size_t s = 0; s < 100000; ++s) {
+        const auto backend = cache.bind(
+            "session-" + std::to_string(s), config, key, value);
+        if (row.bytesPerSession == 0)
+            row.bytesPerSession = backend->memoryBytes();
+        if (cache.stats().evictions > 0) {
+            row.sessionCapacity = cache.sessionCount();
+            return row;
+        }
+    }
+    fatal("session-capacity sweep never hit the byte budget");
+}
+
 }  // namespace
 
 int
@@ -310,6 +359,36 @@ main(int argc, char **argv)
     // --- Session cache hit vs miss.
     const CacheRow cacheRow = measureCache(8, 2048, d, repeats);
 
+    // --- Sessions held at a fixed byte budget, per packed layout.
+    const std::size_t capacityBudget = 4u << 20;  // 4 MiB
+    std::vector<CapacityRow> capacityRows;
+    {
+        EngineConfig word32;
+        word32.kind = EngineKind::ExactQuantized;
+        word32.intBits = 4;
+        word32.fracBits = 4;
+        word32.packedKv = PackedKvFormat::Word32;
+        capacityRows.push_back(measureCapacity(word32, "word32",
+                                               capacityBudget, 320,
+                                               d));
+        EngineConfig int8Cfg = word32;
+        int8Cfg.intBits = 3;
+        int8Cfg.packedKv = PackedKvFormat::Auto;  // resolves to int8
+        capacityRows.push_back(
+            measureCapacity(int8Cfg, "int8", capacityBudget, 320, d));
+        EngineConfig int4Cfg = word32;
+        int4Cfg.intBits = 1;
+        int4Cfg.fracBits = 2;
+        int4Cfg.packedKv = PackedKvFormat::Auto;  // resolves to int4
+        capacityRows.push_back(
+            measureCapacity(int4Cfg, "int4", capacityBudget, 320, d));
+        for (CapacityRow &row : capacityRows) {
+            row.capacityVsWord32 =
+                static_cast<double>(row.sessionCapacity) /
+                static_cast<double>(capacityRows[0].sessionCapacity);
+        }
+    }
+
     // --- Scheduler throughput.
     const std::size_t hw = std::max<std::size_t>(
         1, std::thread::hardware_concurrency());
@@ -344,6 +423,19 @@ main(int argc, char **argv)
                 cacheRow.speedupHitVsMiss,
                 static_cast<unsigned long long>(cacheRow.hits),
                 static_cast<unsigned long long>(cacheRow.misses));
+    std::printf("  ],\n  \"session_capacity\": [\n");
+    for (std::size_t i = 0; i < capacityRows.size(); ++i) {
+        const CapacityRow &r = capacityRows[i];
+        std::printf("    {\"kv_format\": \"%s\", \"int_bits\": %d, "
+                    "\"frac_bits\": %d, \"byte_budget\": %zu, "
+                    "\"bytes_per_session\": %zu, "
+                    "\"session_capacity\": %zu, "
+                    "\"capacity_vs_word32\": %.2f}%s\n",
+                    r.kvFormat.c_str(), r.intBits, r.fracBits,
+                    capacityBudget, r.bytesPerSession,
+                    r.sessionCapacity, r.capacityVsWord32,
+                    i + 1 < capacityRows.size() ? "," : "");
+    }
     std::printf("  ],\n  \"scheduler\": [\n");
     for (std::size_t i = 0; i < schedulerRows.size(); ++i) {
         const SchedulerRow &r = schedulerRows[i];
@@ -381,6 +473,12 @@ main(int argc, char **argv)
                       std::to_string(cacheRow.missBindSeconds),
                       std::to_string(cacheRow.hitLookupSeconds),
                       std::to_string(cacheRow.speedupHitVsMiss)});
+        for (const CapacityRow &r : capacityRows) {
+            csv.writeRow({"session_capacity", r.kvFormat,
+                          std::to_string(r.bytesPerSession),
+                          std::to_string(r.sessionCapacity), "",
+                          std::to_string(r.capacityVsWord32)});
+        }
         for (const SchedulerRow &r : schedulerRows) {
             csv.writeRow({"scheduler", std::to_string(r.sessions),
                           std::to_string(r.queriesPerSession),

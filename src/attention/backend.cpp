@@ -135,15 +135,14 @@ ReferenceAttention::memoryBytes() const
     return (key_.data().size() + value_.data().size()) * sizeof(float);
 }
 
-ApproxQuantizedAttention::ApproxQuantizedAttention(Matrix key,
-                                                   Matrix value,
-                                                   ApproxConfig approx,
-                                                   int intBits,
-                                                   int fracBits)
+ApproxQuantizedAttention::ApproxQuantizedAttention(
+    Matrix key, Matrix value, ApproxConfig approx, int intBits,
+    int fracBits, PackedKvFormat packedKv)
     : approx_(std::make_unique<ApproxAttention>(
           std::move(key), std::move(value), approx)),
       datapath_(std::make_unique<QuantizedAttention>(
-          approx_->key(), approx_->value(), intBits, fracBits))
+          approx_->key(), approx_->value(), intBits, fracBits,
+          packedKv))
 {
 }
 
@@ -226,6 +225,18 @@ validateQuantizedBits(const EngineConfig &config)
               "(intBits=", config.intBits, ", fracBits=",
               config.fracBits, ")");
     }
+    // Mirror of the lane-budget check for the packed layouts: an
+    // explicit narrow lane must still hold the input word losslessly.
+    const int lane = packedKvLaneBits(config.packedKv);
+    if (lane != 0 && total > lane) {
+        fatal("EngineConfig: input word needs intBits + fracBits + 1 = ",
+              total, " bits, exceeding the ", lane,
+              "-bit packed K/V lane (packedKv=",
+              packedKvFormatName(config.packedKv), ", intBits=",
+              config.intBits, ", fracBits=", config.fracBits,
+              "); packing is lossless — widen the lane or narrow the "
+              "format");
+    }
 }
 
 }  // namespace
@@ -247,11 +258,11 @@ makeBackend(const EngineConfig &config, Matrix key, Matrix value)
       case EngineKind::ExactQuantized:
         return std::make_unique<QuantizedAttention>(
             std::move(key), std::move(value), config.intBits,
-            config.fracBits);
+            config.fracBits, config.packedKv);
       case EngineKind::ApproxQuantized:
         return std::make_unique<ApproxQuantizedAttention>(
             std::move(key), std::move(value), config.approx,
-            config.intBits, config.fracBits);
+            config.intBits, config.fracBits, config.packedKv);
     }
     panic("unknown engine kind");
 }

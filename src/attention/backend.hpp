@@ -32,6 +32,7 @@
 
 #include "attention/config.hpp"
 #include "attention/types.hpp"
+#include "fixed/packed.hpp"
 #include "tensor/matrix.hpp"
 
 namespace a3 {
@@ -159,6 +160,16 @@ struct EngineConfig
      */
     int intBits = 4;
     int fracBits = 4;
+
+    /**
+     * K/V lane layout of the quantized kinds (see fixed/packed.hpp).
+     * Auto packs to the narrowest lossless lane for (intBits,
+     * fracBits); results are bit-identical across layouts, only
+     * footprint and kernel path change. makeBackend() rejects an
+     * explicit Int8/Int4 whose input word exceeds the lane width,
+     * mirroring the 32-bit lane-budget check.
+     */
+    PackedKvFormat packedKv = PackedKvFormat::Auto;
 };
 
 /**
@@ -204,9 +215,9 @@ class ApproxQuantizedAttention final : public AttentionBackend
      * Preprocess `key` for greedy search and size the fixed-point
      * datapath for the task.
      */
-    ApproxQuantizedAttention(Matrix key, Matrix value,
-                             ApproxConfig approx, int intBits,
-                             int fracBits);
+    ApproxQuantizedAttention(
+        Matrix key, Matrix value, ApproxConfig approx, int intBits,
+        int fracBits, PackedKvFormat packedKv = PackedKvFormat::Auto);
     ~ApproxQuantizedAttention() override;
 
     std::string name() const override { return "approx-quantized"; }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fixed/value.hpp"
+#include "kernels/kernels.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -18,7 +19,8 @@ QuantizedAttention::QuantizedAttention(int intBits, int fracBits,
 }
 
 QuantizedAttention::QuantizedAttention(Matrix key, Matrix value,
-                                       int intBits, int fracBits)
+                                       int intBits, int fracBits,
+                                       PackedKvFormat packedKv)
     : QuantizedAttention(intBits, fracBits, key.rows(), key.cols())
 {
     a3Assert(key.rows() == value.rows() && key.cols() == value.cols(),
@@ -26,24 +28,91 @@ QuantizedAttention::QuantizedAttention(Matrix key, Matrix value,
     a3Assert(key.rows() > 0 && key.cols() > 0,
              "attention task must be non-empty");
 
+    packed_ = resolvePackedKvFormat(packedKv, intBits, fracBits);
+    if (packed_ != PackedKvFormat::Word32) {
+        // The packed kernels accumulate in int32; the derived dot
+        // format must fit (it always does for byte-narrow words at
+        // any realistic d — this guards absurd dimensions).
+        a3Assert(formats_.dotProduct.totalBits() <= 32,
+                 "dot-product format exceeds the packed kernels' "
+                 "32-bit accumulator; use PackedKvFormat::Word32");
+    }
+
     // Quantize the task once at bind time — the host copies quantized
     // matrices into the accelerator SRAM exactly once per task — and
     // drop the float originals: every runInto() reads the cached words
     // instead of re-quantizing n x d floats per query.
-    const FixedFormat inFmt = formats_.input;
     const std::size_t n = key.rows();
     const std::size_t d = key.cols();
     boundRows_ = n;
     bound_ = true;
-    keyQ_.resize(n * d);
-    valueQ_.resize(n * d);
-    for (std::size_t i = 0; i < n * d; ++i) {
-        keyQ_[i] = static_cast<std::int32_t>(
-            inFmt.quantize(key.data()[i]));
-        valueQ_[i] = static_cast<std::int32_t>(
-            inFmt.quantize(value.data()[i]));
-    }
+    packRows(key, value, n);
     Scratch::forThread().reserveTask(n, d);
+}
+
+void
+QuantizedAttention::packRows(const Matrix &keyRows,
+                             const Matrix &valueRows, std::size_t count)
+{
+    const FixedFormat inFmt = formats_.input;
+    const std::size_t d = dims_;
+    if (packed_ != PackedKvFormat::Word32) {
+        // Every row shares the symmetric quantizer's resolution today;
+        // stored per row so the dequant path already consumes the
+        // layout a per-row-range scheme would produce. Word32 keeps no
+        // scale metadata: the legacy layout is preserved exactly.
+        const float scale = static_cast<float>(inFmt.resolution());
+        keyScale_.reserve(keyScale_.size() + count);
+        valueScale_.reserve(valueScale_.size() + count);
+        for (std::size_t r = 0; r < count; ++r) {
+            keyScale_.push_back(scale);
+            valueScale_.push_back(scale);
+        }
+    }
+    switch (packed_) {
+    case PackedKvFormat::Word32:
+        keyQ_.reserve(keyQ_.size() + count * d);
+        valueQ_.reserve(valueQ_.size() + count * d);
+        for (std::size_t i = 0; i < count * d; ++i) {
+            keyQ_.push_back(static_cast<std::int32_t>(
+                inFmt.quantize(keyRows.data()[i])));
+            valueQ_.push_back(static_cast<std::int32_t>(
+                inFmt.quantize(valueRows.data()[i])));
+        }
+        break;
+    case PackedKvFormat::Int8:
+        keyQ8_.reserve(keyQ8_.size() + count * d);
+        valueQ8_.reserve(valueQ8_.size() + count * d);
+        for (std::size_t i = 0; i < count * d; ++i) {
+            keyQ8_.push_back(static_cast<std::int8_t>(
+                inFmt.quantize(keyRows.data()[i])));
+            valueQ8_.push_back(static_cast<std::int8_t>(
+                inFmt.quantize(valueRows.data()[i])));
+        }
+        break;
+    case PackedKvFormat::Int4: {
+        const std::size_t rowBytes = (d + 1) / 2;
+        keyQ4_.reserve(keyQ4_.size() + count * rowBytes);
+        valueQ4_.reserve(valueQ4_.size() + count * rowBytes);
+        for (std::size_t r = 0; r < count; ++r) {
+            for (std::size_t j = 0; j < d; j += 2) {
+                const auto lane = [&](const Matrix &m,
+                                      std::size_t col) -> std::int8_t {
+                    return col < d ? static_cast<std::int8_t>(
+                                         inFmt.quantize(m(r, col)))
+                                   : std::int8_t{0};
+                };
+                keyQ4_.push_back(packNibblePair(lane(keyRows, j),
+                                                lane(keyRows, j + 1)));
+                valueQ4_.push_back(packNibblePair(
+                    lane(valueRows, j), lane(valueRows, j + 1)));
+            }
+        }
+        break;
+    }
+    case PackedKvFormat::Auto:
+        panic("packed_ must be resolved before packRows()");
+    }
 }
 
 std::size_t
@@ -67,14 +136,7 @@ QuantizedAttention::append(const Matrix &keyRows, const Matrix &valueRows)
         return;
 
     const FixedFormat inFmt = formats_.input;
-    keyQ_.reserve(keyQ_.size() + k * dims_);
-    valueQ_.reserve(valueQ_.size() + k * dims_);
-    for (std::size_t i = 0; i < k * dims_; ++i) {
-        keyQ_.push_back(static_cast<std::int32_t>(
-            inFmt.quantize(keyRows.data()[i])));
-        valueQ_.push_back(static_cast<std::int32_t>(
-            inFmt.quantize(valueRows.data()[i])));
-    }
+    packRows(keyRows, valueRows, k);
     boundRows_ += k;
     maxRows_ = boundRows_;
     // Re-derive the stage widths for the grown n: only the expSum and
@@ -89,7 +151,13 @@ QuantizedAttention::append(const Matrix &keyRows, const Matrix &valueRows)
 std::size_t
 QuantizedAttention::memoryBytes() const
 {
-    return (keyQ_.size() + valueQ_.size()) * sizeof(std::int32_t);
+    const std::size_t lanes =
+        (keyQ_.size() + valueQ_.size()) * sizeof(std::int32_t) +
+        (keyQ8_.size() + valueQ8_.size()) * sizeof(std::int8_t) +
+        (keyQ4_.size() + valueQ4_.size()) * sizeof(std::uint8_t);
+    const std::size_t scales =
+        (keyScale_.size() + valueScale_.size()) * sizeof(float);
+    return lanes + scales;
 }
 
 void
@@ -166,27 +234,58 @@ QuantizedAttention::runCore(std::size_t n, const Matrix *key,
     for (std::size_t j = 0; j < d; ++j)
         queryQ[j] = inFmt.quantize(query[j]);
 
+    // Bound runs with a packed layout MAC directly on the packed
+    // lanes; the lanes hold the exact quantized words, so the result
+    // is bit-identical to the Word32 loops.
+    const bool packedLanes =
+        key == nullptr && packed_ != PackedKvFormat::Word32;
+    const Kernels &kern = activeKernels();
+
     // --- Module 1: dot products and running max (Figure 5 lines 3-10).
     std::vector<std::int64_t> &dotQ = scratch.dotQ;
     dotQ.resize(m);
     std::int64_t maxDot = 0;
-    for (std::size_t i = 0; i < m; ++i) {
-        const std::uint32_t r = rows[i];
-        std::int64_t sum = 0;  // adder-tree accumulator, (2i+log2 d, 2f)
-        if (key == nullptr) {
-            const std::int32_t *keyRow = keyQ_.data() + r * d;
-            for (std::size_t j = 0; j < d; ++j)
-                sum += keyRow[j] * queryQ[j];
-        } else {
-            for (std::size_t j = 0; j < d; ++j)
-                sum += inFmt.quantize((*key)(r, j)) * queryQ[j];
+    if (packedLanes) {
+        std::vector<std::int8_t> &queryQ8 = scratch.queryQ8;
+        queryQ8.resize(d);
+        for (std::size_t j = 0; j < d; ++j)
+            queryQ8[j] = static_cast<std::int8_t>(queryQ[j]);
+        std::vector<std::int32_t> &dot32 = scratch.dotQ32;
+        dot32.resize(m);
+        if (packed_ == PackedKvFormat::Int8)
+            kern.gatherDotI8(keyQ8_.data(), d, rows.data(), m,
+                             queryQ8.data(), dot32.data());
+        else
+            kern.gatherDotI4(keyQ4_.data(), d, rows.data(), m,
+                             queryQ8.data(), dot32.data());
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::int64_t sum = dot32[i];
+            a3Assert(formats_.dotProduct.fits(sum),
+                     "dot-product stage overflow: Section III-B widths "
+                     "violated");
+            dotQ[i] = sum;
+            if (i == 0 || sum > maxDot)
+                maxDot = sum;
         }
-        a3Assert(formats_.dotProduct.fits(sum),
-                 "dot-product stage overflow: Section III-B widths "
-                 "violated");
-        dotQ[i] = sum;
-        if (i == 0 || sum > maxDot)
-            maxDot = sum;
+    } else {
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::uint32_t r = rows[i];
+            std::int64_t sum = 0;  // adder-tree acc, (2i+log2 d, 2f)
+            if (key == nullptr) {
+                const std::int32_t *keyRow = keyQ_.data() + r * d;
+                for (std::size_t j = 0; j < d; ++j)
+                    sum += keyRow[j] * queryQ[j];
+            } else {
+                for (std::size_t j = 0; j < d; ++j)
+                    sum += inFmt.quantize((*key)(r, j)) * queryQ[j];
+            }
+            a3Assert(formats_.dotProduct.fits(sum),
+                     "dot-product stage overflow: Section III-B widths "
+                     "violated");
+            dotQ[i] = sum;
+            if (i == 0 || sum > maxDot)
+                maxDot = sum;
+        }
     }
 
     // --- Module 2: exponent computation (Figure 5 lines 11-16).
@@ -215,15 +314,39 @@ QuantizedAttention::runCore(std::size_t n, const Matrix *key,
     const FixedValue expSumV{expSum, formats_.expSum};
     std::vector<std::int64_t> &outQ = scratch.outQ;
     outQ.assign(d, 0);
+    const std::size_t rowBytes4 = (d + 1) / 2;
+    const double queryScale = inFmt.resolution();
     for (std::size_t i = 0; i < m; ++i) {
         const std::uint32_t r = rows[i];
         const FixedValue scoreV{scoreQ[i], formats_.score};
         const FixedValue weightV =
             divide(scoreV, expSumV, formats_.weight.intBits,
                    formats_.weight.fracBits);
+        // Packed rows dequantize through the per-row scale metadata;
+        // the scales are powers of two, so the product double(raw) *
+        // keyScale * queryScale is exact and bit-identical to the
+        // dotProduct format's own toDouble().
         result.scores[r] =
-            static_cast<float>(formats_.dotProduct.toDouble(dotQ[i]));
+            packedLanes
+                ? static_cast<float>(static_cast<double>(dotQ[i]) *
+                                     keyScale_[r] * queryScale)
+                : static_cast<float>(
+                      formats_.dotProduct.toDouble(dotQ[i]));
         result.weights[r] = static_cast<float>(weightV.toDouble());
+        if (packedLanes) {
+            // Fused dequant-dot accumulation on the packed bytes:
+            // product.raw below is weightV.raw * vq, which is exactly
+            // what axpyI8/I4 accumulate (the weight format (0, 2f)
+            // keeps |w| far under the kernels' 2^24 contract).
+            if (packed_ == PackedKvFormat::Int8)
+                kern.axpyI8(weightV.raw, valueQ8_.data() + r * d,
+                            outQ.data(), d);
+            else
+                kern.axpyI4(weightV.raw,
+                            valueQ4_.data() + r * rowBytes4,
+                            outQ.data(), d);
+            continue;
+        }
         const std::int32_t *valueRow =
             value == nullptr ? valueQ_.data() + r * d : nullptr;
         for (std::size_t j = 0; j < d; ++j) {
@@ -240,6 +363,10 @@ QuantizedAttention::runCore(std::size_t n, const Matrix *key,
         }
     }
     for (std::size_t j = 0; j < d; ++j) {
+        // Packed rows skip the per-element overflow check inside the
+        // hot loop; the final accumulators must still fit (partial
+        // sums are bounded by the same capacity annotation).
+        a3Assert(formats_.output.fits(outQ[j]), "output stage overflow");
         result.output[j] =
             static_cast<float>(formats_.output.toDouble(outQ[j]));
     }

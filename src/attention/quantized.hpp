@@ -21,6 +21,7 @@
 #include "attention/backend.hpp"
 #include "attention/types.hpp"
 #include "fixed/exp_lut.hpp"
+#include "fixed/packed.hpp"
 #include "fixed/pipeline_formats.hpp"
 #include "kernels/scratch.hpp"
 #include "tensor/matrix.hpp"
@@ -46,9 +47,19 @@ class QuantizedAttention final : public AttentionBackend
      * key/value words are quantized once up front (the host copies
      * quantized matrices into the accelerator SRAM exactly once per
      * task), and the one-argument run() answers queries against it.
+     *
+     * `packedKv` chooses the SRAM lane layout (fixed/packed.hpp):
+     * Auto packs to the narrowest lossless lane for the input format,
+     * so narrow configurations get the 4-8x footprint shrink and the
+     * packed SIMD kernels without any call-site change. Packing is
+     * lossless — the packed lanes hold the exact quantized words the
+     * int32-word layout holds — so results are bit-identical across
+     * layouts. An explicit Int8/Int4 request too narrow for the input
+     * word fatal()s.
      */
     QuantizedAttention(Matrix key, Matrix value, int intBits,
-                       int fracBits);
+                       int fracBits,
+                       PackedKvFormat packedKv = PackedKvFormat::Auto);
 
     using AttentionBackend::run;
 
@@ -68,7 +79,13 @@ class QuantizedAttention final : public AttentionBackend
     void append(const Matrix &keyRows,
                 const Matrix &valueRows) override;
 
-    /** Bytes of the quantized key/value SRAM lanes (0 when unbound). */
+    /**
+     * Bytes of the quantized key/value SRAM lanes in the resolved
+     * packed layout, plus the per-row scale metadata (0 when
+     * unbound). This is the figure SessionCache budgets and
+     * ShardedBackend aggregation see, so packing directly multiplies
+     * session capacity.
+     */
     std::size_t memoryBytes() const override;
 
     /**
@@ -91,6 +108,22 @@ class QuantizedAttention final : public AttentionBackend
 
     /** True when a key/value task is bound into the datapath. */
     bool bound() const { return bound_; }
+
+    /** Resolved K/V lane layout (Word32 when unbound). */
+    PackedKvFormat packedFormat() const { return packed_; }
+
+    /**
+     * Per-row dequantization scales of the packed key rows (empty in
+     * Word32 layout). Quantization is symmetric, so the zero point is
+     * implicitly 0 and a lane dequantizes as raw * scale. Today every
+     * row shares the input format's resolution; the layout is per-row
+     * so a future per-row-range scheme drops in without touching the
+     * kernels.
+     */
+    const std::vector<float> &keyScales() const { return keyScale_; }
+
+    /** Per-row dequantization scales of the packed value rows. */
+    const std::vector<float> &valueScales() const { return valueScale_; }
 
     /**
      * Run the full pipeline over all rows of the task.
@@ -126,19 +159,35 @@ class QuantizedAttention final : public AttentionBackend
                  std::span<const std::uint32_t> rows,
                  AttentionResult &out, Scratch &scratch) const;
 
+    /** Quantize and pack `count` task rows onto the packed arrays. */
+    void packRows(const Matrix &keyRows, const Matrix &valueRows,
+                  std::size_t count);
+
     PipelineFormats formats_;
     ExpLut lut_;
     std::size_t maxRows_;
     std::size_t dims_;
     /**
-     * Row-major pre-quantized words of the bound task (n x d). The
-     * float matrices are not retained: the datapath models the
-     * accelerator SRAM, which holds only quantized words. int32
-     * storage is lossless — an input word has intBits + fracBits + 1
-     * bits, far below 32 in every derivable configuration.
+     * Row-major pre-quantized words of the bound task (n x d), in the
+     * resolved packed_ layout. The float matrices are not retained:
+     * the datapath models the accelerator SRAM, which holds only
+     * quantized words. Exactly one of the three lane arrays per side
+     * is populated; all layouts are lossless (an input word has
+     * intBits + fracBits + 1 bits, which the resolved lane always
+     * covers), so the layouts are bit-identical in results and differ
+     * only in footprint and kernel path.
      */
     std::vector<std::int32_t> keyQ_;
     std::vector<std::int32_t> valueQ_;
+    std::vector<std::int8_t> keyQ8_;
+    std::vector<std::int8_t> valueQ8_;
+    /** Nibble-packed int4 lanes, (dims + 1) / 2 bytes per row. */
+    std::vector<std::uint8_t> keyQ4_;
+    std::vector<std::uint8_t> valueQ4_;
+    /** Per-row dequantization scales (packed layouts only). */
+    std::vector<float> keyScale_;
+    std::vector<float> valueScale_;
+    PackedKvFormat packed_ = PackedKvFormat::Word32;
     std::size_t boundRows_ = 0;
     bool bound_ = false;
 };

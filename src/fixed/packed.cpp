@@ -1,0 +1,78 @@
+#include "fixed/packed.hpp"
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+const char *
+packedKvFormatName(PackedKvFormat format)
+{
+    switch (format) {
+    case PackedKvFormat::Auto:
+        return "auto";
+    case PackedKvFormat::Word32:
+        return "word32";
+    case PackedKvFormat::Int8:
+        return "int8";
+    case PackedKvFormat::Int4:
+        return "int4";
+    }
+    panic("unreachable PackedKvFormat");
+}
+
+int
+packedKvLaneBits(PackedKvFormat format)
+{
+    switch (format) {
+    case PackedKvFormat::Auto:
+        return 0;
+    case PackedKvFormat::Word32:
+        return 32;
+    case PackedKvFormat::Int8:
+        return 8;
+    case PackedKvFormat::Int4:
+        return 4;
+    }
+    panic("unreachable PackedKvFormat");
+}
+
+PackedKvFormat
+resolvePackedKvFormat(PackedKvFormat requested, int intBits,
+                      int fracBits)
+{
+    const int word = intBits + fracBits + 1;
+    if (requested == PackedKvFormat::Auto) {
+        if (word <= 4)
+            return PackedKvFormat::Int4;
+        if (word <= 8)
+            return PackedKvFormat::Int8;
+        return PackedKvFormat::Word32;
+    }
+    const int lane = packedKvLaneBits(requested);
+    if (word > lane) {
+        fatal("packed K/V format ", packedKvFormatName(requested),
+              " cannot hold a Q", intBits, ".", fracBits,
+              " input word: ", word, " bits exceed the ", lane,
+              "-bit packed lane (packing is lossless; widen the lane "
+              "or narrow the format)");
+    }
+    return requested;
+}
+
+std::size_t
+packedRowBytes(PackedKvFormat format, std::size_t dims)
+{
+    switch (format) {
+    case PackedKvFormat::Auto:
+        panic("packedRowBytes requires a resolved format");
+    case PackedKvFormat::Word32:
+        return dims * sizeof(std::int32_t);
+    case PackedKvFormat::Int8:
+        return dims;
+    case PackedKvFormat::Int4:
+        return (dims + 1) / 2;
+    }
+    panic("unreachable PackedKvFormat");
+}
+
+}  // namespace a3

@@ -32,6 +32,9 @@ scalarKernels()
         KernelIsa::Scalar, dotScalar,      axpyScalar,
         maxReduceScalar,   expSumInPlaceScalar, scaleScalar,
         divideByScalar,    gatherDotScalar, gatherWeightedSumScalar,
+        dotI8Scalar,       gatherDotI8Scalar,
+        dotI4Scalar,       gatherDotI4Scalar,
+        axpyI8Scalar,      axpyI4Scalar,
     };
     return table;
 }

@@ -34,6 +34,11 @@
  *    polynomial exp. These agree with the scalar kernel to ~1e-6
  *    relative error and are themselves run-to-run deterministic for a
  *    fixed table choice.
+ *  - The packed integer kernels — dotI8 / gatherDotI8 / dotI4 /
+ *    gatherDotI4 / axpyI8 / axpyI4 — compute exact integer sums, so
+ *    despite reassociating they are bit-identical across every table
+ *    (integer addition is associative). They form a third, strongest
+ *    class: exact on all ISAs, not merely order-preserving.
  *
  * All kernels assume finite inputs (the attention library never feeds
  * them NaN or infinity); behavior on non-finite values is unspecified
@@ -113,6 +118,54 @@ struct Kernels
                               const std::uint32_t *rows,
                               std::size_t count, const float *w,
                               float *out);
+
+    /*
+     * Packed low-bit kernels. These MAC directly on the packed int8 /
+     * nibble-packed int4 K/V lanes of the quantized backends and
+     * dequantize only at the accumulator. All of them compute exact
+     * integer sums and are bit-identical across every table.
+     *
+     * Preconditions (guaranteed by the quantized storage layer):
+     * lanes lie in the symmetric range [-127, 127] (int8) or [-7, 7]
+     * (int4) — -128 never occurs, so the AVX2 maddubs sign-trick
+     * pairing cannot saturate — and the quantized dot format
+     * (2i + ceil(log2 d) int bits, 2f frac bits) fits 32 bits, so an
+     * int32 accumulator cannot overflow. Nibble rows use the layout
+     * of fixed/packed.hpp: element 2k in the low nibble, 2k+1 in the
+     * high nibble of byte k, odd tail in a low nibble with the high
+     * nibble zero.
+     */
+
+    /** sum_i a[i] * b[i] over signed bytes (exact on every table). */
+    std::int32_t (*dotI8)(const std::int8_t *a, const std::int8_t *b,
+                          std::size_t n);
+
+    /** out[i] = dotI8(mat row rows[i], q); rows hold dims bytes. */
+    void (*gatherDotI8)(const std::int8_t *mat, std::size_t dims,
+                        const std::uint32_t *rows, std::size_t count,
+                        const std::int8_t *q, std::int32_t *out);
+
+    /** Nibble-packed dot: a holds ceil(n/2) bytes, q unpacked int8. */
+    std::int32_t (*dotI4)(const std::uint8_t *a, const std::int8_t *q,
+                          std::size_t n);
+
+    /** out[i] = dotI4(mat row rows[i], q); ceil(dims/2)-byte rows. */
+    void (*gatherDotI4)(const std::uint8_t *mat, std::size_t dims,
+                        const std::uint32_t *rows, std::size_t count,
+                        const std::int8_t *q, std::int32_t *out);
+
+    /**
+     * Weighted packed-row accumulation y[j] += w * x[j] into 64-bit
+     * output lanes (exact; |w| must stay below 2^24 so SIMD tables
+     * may form the per-lane products in 32 bits — the weight format
+     * (0, 2f) guarantees this for every packable configuration).
+     */
+    void (*axpyI8)(std::int64_t w, const std::int8_t *x,
+                   std::int64_t *y, std::size_t n);
+
+    /** Nibble-packed variant of axpyI8 (x holds ceil(n/2) bytes). */
+    void (*axpyI4)(std::int64_t w, const std::uint8_t *x,
+                   std::int64_t *y, std::size_t n);
 };
 
 /** The portable reference table (always available). */

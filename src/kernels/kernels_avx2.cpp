@@ -213,6 +213,155 @@ gatherWeightedSumAvx2(const float *mat, std::size_t dims,
     }
 }
 
+std::int32_t
+hsumEpi32Avx2(__m256i v)
+{
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                              _mm256_extracti128_si256(v, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(s);
+}
+
+/**
+ * Pairwise i32 sums of x[i]*y[i] over 32 int8 lanes. maddubs wants an
+ * unsigned left operand, so move x's sign onto y (|x| * sign(x)*y ==
+ * x*y); the pair sums stay below 2*127*127 and cannot saturate the
+ * i16 intermediate because the quantized lanes never reach -128.
+ */
+__m256i
+mulSumI8Avx2(__m256i x, __m256i y)
+{
+    const __m256i ax = _mm256_sign_epi8(x, x);
+    const __m256i sy = _mm256_sign_epi8(y, x);
+    const __m256i pairs = _mm256_maddubs_epi16(ax, sy);
+    return _mm256_madd_epi16(pairs, _mm256_set1_epi16(1));
+}
+
+std::int32_t
+dotI8Avx2(const std::int8_t *a, const std::int8_t *b, std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        acc = _mm256_add_epi32(acc, mulSumI8Avx2(va, vb));
+    }
+    return hsumEpi32Avx2(acc) + dotI8Scalar(a + i, b + i, n - i);
+}
+
+void
+gatherDotI8Avx2(const std::int8_t *mat, std::size_t dims,
+                const std::uint32_t *rows, std::size_t count,
+                const std::int8_t *q, std::int32_t *out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotI8Avx2(mat + rows[i] * dims, q, dims);
+}
+
+/** Unpack 16 packed bytes into 32 sign-extended nibble lanes. */
+__m256i
+unpackNibbles32Avx2(const std::uint8_t *p)
+{
+    const __m128i bytes = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(p));
+    const __m128i maskF = _mm_set1_epi8(0xF);
+    const __m128i lo = _mm_and_si128(bytes, maskF);
+    const __m128i hi =
+        _mm_and_si128(_mm_srli_epi16(bytes, 4), maskF);
+    // Interleaving restores element order: 0..15 low, 16..31 high.
+    const __m128i il = _mm_unpacklo_epi8(lo, hi);
+    const __m128i ih = _mm_unpackhi_epi8(lo, hi);
+    __m256i v = _mm256_set_m128i(ih, il);
+    const __m256i eight = _mm256_set1_epi8(8);
+    return _mm256_sub_epi8(_mm256_xor_si256(v, eight), eight);
+}
+
+std::int32_t
+dotI4Avx2(const std::uint8_t *a, const std::int8_t *q, std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i va = unpackNibbles32Avx2(a + i / 2);
+        const __m256i vq = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(q + i));
+        acc = _mm256_add_epi32(acc, mulSumI8Avx2(va, vq));
+    }
+    // i is even, so the tail starts on a byte boundary at a + i/2.
+    return hsumEpi32Avx2(acc) + dotI4Scalar(a + i / 2, q + i, n - i);
+}
+
+void
+gatherDotI4Avx2(const std::uint8_t *mat, std::size_t dims,
+                const std::uint32_t *rows, std::size_t count,
+                const std::int8_t *q, std::int32_t *out)
+{
+    const std::size_t rowBytes = (dims + 1) / 2;
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotI4Avx2(mat + rows[i] * rowBytes, q, dims);
+}
+
+/**
+ * y[j] += w * x[j] for 8 int8 lanes widened to int64. |w| < 2^24
+ * (kernel contract) keeps the 32-bit products exact.
+ */
+void
+accumWiden8Avx2(std::int64_t w, __m128i x8, std::int64_t *y)
+{
+    const __m256i vw =
+        _mm256_set1_epi32(static_cast<std::int32_t>(w));
+    const __m256i x32 = _mm256_cvtepi8_epi32(x8);
+    const __m256i p32 = _mm256_mullo_epi32(x32, vw);
+    const __m256i p64lo =
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p32));
+    const __m256i p64hi =
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(p32, 1));
+    __m256i *y0 = reinterpret_cast<__m256i *>(y);
+    __m256i *y1 = reinterpret_cast<__m256i *>(y + 4);
+    _mm256_storeu_si256(
+        y0, _mm256_add_epi64(_mm256_loadu_si256(y0), p64lo));
+    _mm256_storeu_si256(
+        y1, _mm256_add_epi64(_mm256_loadu_si256(y1), p64hi));
+}
+
+void
+axpyI8Avx2(std::int64_t w, const std::int8_t *x, std::int64_t *y,
+           std::size_t n)
+{
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+        accumWiden8Avx2(
+            w,
+            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(x + j)),
+            y + j);
+    axpyI8Scalar(w, x + j, y + j, n - j);
+}
+
+void
+axpyI4Avx2(std::int64_t w, const std::uint8_t *x, std::int64_t *y,
+           std::size_t n)
+{
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        const __m128i bytes = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(x + j / 2));
+        const __m128i maskF = _mm_set1_epi8(0xF);
+        const __m128i lo = _mm_and_si128(bytes, maskF);
+        const __m128i hi =
+            _mm_and_si128(_mm_srli_epi16(bytes, 4), maskF);
+        __m128i v = _mm_unpacklo_epi8(lo, hi);
+        const __m128i eight = _mm_set1_epi8(8);
+        v = _mm_sub_epi8(_mm_xor_si128(v, eight), eight);
+        accumWiden8Avx2(w, v, y + j);
+        accumWiden8Avx2(w, _mm_srli_si128(v, 8), y + j + 8);
+    }
+    axpyI4Scalar(w, x + j / 2, y + j, n - j);
+}
+
 }  // namespace
 
 const Kernels *
@@ -227,6 +376,9 @@ avx2Kernels()
         expSumInPlaceAvx2, scaleAvx2,
         divideByAvx2,      gatherDotAvx2,
         gatherWeightedSumAvx2,
+        dotI8Avx2,         gatherDotI8Avx2,
+        dotI4Avx2,         gatherDotI4Avx2,
+        axpyI8Avx2,        axpyI4Avx2,
     };
     return &table;
 }

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "fixed/packed.hpp"
+
 namespace a3 {
 namespace kernel_detail {
 
@@ -92,6 +94,82 @@ gatherWeightedSumScalar(const float *mat, std::size_t dims,
         for (std::size_t j = 0; j < dims; ++j)
             out[j] += w[i] * row[j];
     }
+}
+
+/*
+ * Packed integer bodies. These are exact (integer arithmetic), so the
+ * SIMD tables reuse them for tails without any bit-identity caveat;
+ * the sharing here is about one source of truth, not rounding.
+ */
+
+inline std::int32_t
+dotI8Scalar(const std::int8_t *a, const std::int8_t *b, std::size_t n)
+{
+    std::int32_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += static_cast<std::int32_t>(a[i]) *
+               static_cast<std::int32_t>(b[i]);
+    return sum;
+}
+
+inline void
+gatherDotI8Scalar(const std::int8_t *mat, std::size_t dims,
+                  const std::uint32_t *rows, std::size_t count,
+                  const std::int8_t *q, std::int32_t *out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotI8Scalar(mat + rows[i] * dims, q, dims);
+}
+
+inline std::int32_t
+dotI4Scalar(const std::uint8_t *a, const std::int8_t *q, std::size_t n)
+{
+    std::int32_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const std::uint8_t byte = a[i / 2];
+        sum += static_cast<std::int32_t>(unpackNibbleLow(byte)) *
+               static_cast<std::int32_t>(q[i]);
+        sum += static_cast<std::int32_t>(unpackNibbleHigh(byte)) *
+               static_cast<std::int32_t>(q[i + 1]);
+    }
+    if (i < n)
+        sum += static_cast<std::int32_t>(unpackNibbleLow(a[i / 2])) *
+               static_cast<std::int32_t>(q[i]);
+    return sum;
+}
+
+inline void
+gatherDotI4Scalar(const std::uint8_t *mat, std::size_t dims,
+                  const std::uint32_t *rows, std::size_t count,
+                  const std::int8_t *q, std::int32_t *out)
+{
+    const std::size_t rowBytes = (dims + 1) / 2;
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotI4Scalar(mat + rows[i] * rowBytes, q, dims);
+}
+
+inline void
+axpyI8Scalar(std::int64_t w, const std::int8_t *x, std::int64_t *y,
+             std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += w * static_cast<std::int64_t>(x[i]);
+}
+
+inline void
+axpyI4Scalar(std::int64_t w, const std::uint8_t *x, std::int64_t *y,
+             std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const std::uint8_t byte = x[i / 2];
+        y[i] += w * static_cast<std::int64_t>(unpackNibbleLow(byte));
+        y[i + 1] +=
+            w * static_cast<std::int64_t>(unpackNibbleHigh(byte));
+    }
+    if (i < n)
+        y[i] += w * static_cast<std::int64_t>(unpackNibbleLow(x[i / 2]));
 }
 
 }  // namespace kernel_detail

@@ -120,6 +120,117 @@ gatherWeightedSumNeon(const float *mat, std::size_t dims,
     }
 }
 
+/** Accumulate 16 int8 lane products into an i32 accumulator. */
+int32x4_t
+macI8Neon(int32x4_t acc, int8x16_t a, int8x16_t b)
+{
+#if defined(__ARM_FEATURE_DOTPROD)
+    return vdotq_s32(acc, a, b);
+#else
+    const int16x8_t plo = vmull_s8(vget_low_s8(a), vget_low_s8(b));
+    const int16x8_t phi = vmull_s8(vget_high_s8(a), vget_high_s8(b));
+    return vpadalq_s16(vpadalq_s16(acc, plo), phi);
+#endif
+}
+
+std::int32_t
+dotI8Neon(const std::int8_t *a, const std::int8_t *b, std::size_t n)
+{
+    int32x4_t acc = vdupq_n_s32(0);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16)
+        acc = macI8Neon(acc, vld1q_s8(a + i), vld1q_s8(b + i));
+    return vaddvq_s32(acc) + dotI8Scalar(a + i, b + i, n - i);
+}
+
+void
+gatherDotI8Neon(const std::int8_t *mat, std::size_t dims,
+                const std::uint32_t *rows, std::size_t count,
+                const std::int8_t *q, std::int32_t *out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotI8Neon(mat + rows[i] * dims, q, dims);
+}
+
+/** Unpack 8 packed bytes into 16 sign-extended nibble lanes. */
+int8x16_t
+unpackNibbles16Neon(const std::uint8_t *p)
+{
+    const uint8x8_t bytes = vld1_u8(p);
+    const uint8x8_t lo = vand_u8(bytes, vdup_n_u8(0xF));
+    const uint8x8_t hi = vshr_n_u8(bytes, 4);
+    // Interleaving low/high nibbles restores element order 0..15.
+    const uint8x8x2_t zipped = vzip_u8(lo, hi);
+    int8x16_t v = vreinterpretq_s8_u8(
+        vcombine_u8(zipped.val[0], zipped.val[1]));
+    // Two's-complement sign extension of 4-bit lanes: (v ^ 8) - 8.
+    const int8x16_t eight = vdupq_n_s8(8);
+    return vsubq_s8(veorq_s8(v, eight), eight);
+}
+
+std::int32_t
+dotI4Neon(const std::uint8_t *a, const std::int8_t *q, std::size_t n)
+{
+    int32x4_t acc = vdupq_n_s32(0);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16)
+        acc = macI8Neon(acc, unpackNibbles16Neon(a + i / 2),
+                        vld1q_s8(q + i));
+    // i is even, so the tail starts on a byte boundary at a + i/2.
+    return vaddvq_s32(acc) + dotI4Scalar(a + i / 2, q + i, n - i);
+}
+
+void
+gatherDotI4Neon(const std::uint8_t *mat, std::size_t dims,
+                const std::uint32_t *rows, std::size_t count,
+                const std::int8_t *q, std::int32_t *out)
+{
+    const std::size_t rowBytes = (dims + 1) / 2;
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotI4Neon(mat + rows[i] * rowBytes, q, dims);
+}
+
+/**
+ * y[j] += w * x[j] for 8 int8 lanes widened to int64. |w| < 2^24
+ * (kernel contract) keeps the 32-bit products exact.
+ */
+void
+accumWiden8Neon(int32x4_t vw, int8x8_t x8, std::int64_t *y)
+{
+    const int16x8_t x16 = vmovl_s8(x8);
+    const int32x4_t plo = vmulq_s32(vmovl_s16(vget_low_s16(x16)), vw);
+    const int32x4_t phi = vmulq_s32(vmovl_s16(vget_high_s16(x16)), vw);
+    vst1q_s64(y, vaddw_s32(vld1q_s64(y), vget_low_s32(plo)));
+    vst1q_s64(y + 2, vaddw_s32(vld1q_s64(y + 2), vget_high_s32(plo)));
+    vst1q_s64(y + 4, vaddw_s32(vld1q_s64(y + 4), vget_low_s32(phi)));
+    vst1q_s64(y + 6, vaddw_s32(vld1q_s64(y + 6), vget_high_s32(phi)));
+}
+
+void
+axpyI8Neon(std::int64_t w, const std::int8_t *x, std::int64_t *y,
+           std::size_t n)
+{
+    const int32x4_t vw = vdupq_n_s32(static_cast<std::int32_t>(w));
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+        accumWiden8Neon(vw, vld1_s8(x + j), y + j);
+    axpyI8Scalar(w, x + j, y + j, n - j);
+}
+
+void
+axpyI4Neon(std::int64_t w, const std::uint8_t *x, std::int64_t *y,
+           std::size_t n)
+{
+    const int32x4_t vw = vdupq_n_s32(static_cast<std::int32_t>(w));
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        const int8x16_t v = unpackNibbles16Neon(x + j / 2);
+        accumWiden8Neon(vw, vget_low_s8(v), y + j);
+        accumWiden8Neon(vw, vget_high_s8(v), y + j + 8);
+    }
+    axpyI4Scalar(w, x + j / 2, y + j, n - j);
+}
+
 }  // namespace
 
 const Kernels *
@@ -131,6 +242,9 @@ neonKernels()
         kernel_detail::expSumInPlaceScalar,
         scaleNeon,       divideByNeon,
         gatherDotNeon,   gatherWeightedSumNeon,
+        dotI8Neon,       gatherDotI8Neon,
+        dotI4Neon,       gatherDotI4Neon,
+        axpyI8Neon,      axpyI4Neon,
     };
     return &table;
 }

@@ -118,6 +118,101 @@ gatherDotSse2(const float *mat, std::size_t dims,
         out[i] = dotSse2(mat + rows[i] * dims, q, dims);
 }
 
+std::int32_t
+hsumEpi32(__m128i v)
+{
+    v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+    v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(v);
+}
+
+/**
+ * Sign-extend 16 packed int8 lanes to two int16x8 halves. SSE2 has no
+ * pmovsxbw (SSE4.1) or pmaddubsw (SSSE3), so build the sign mask with
+ * a compare and interleave it in.
+ */
+void
+widenS8Sse2(__m128i v, __m128i &lo, __m128i &hi)
+{
+    const __m128i sign = _mm_cmpgt_epi8(_mm_setzero_si128(), v);
+    lo = _mm_unpacklo_epi8(v, sign);
+    hi = _mm_unpackhi_epi8(v, sign);
+}
+
+std::int32_t
+dotI8Sse2(const std::int8_t *a, const std::int8_t *b, std::size_t n)
+{
+    __m128i acc = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        __m128i alo, ahi, blo, bhi;
+        widenS8Sse2(va, alo, ahi);
+        widenS8Sse2(vb, blo, bhi);
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(alo, blo));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(ahi, bhi));
+    }
+    return hsumEpi32(acc) + dotI8Scalar(a + i, b + i, n - i);
+}
+
+void
+gatherDotI8Sse2(const std::int8_t *mat, std::size_t dims,
+                const std::uint32_t *rows, std::size_t count,
+                const std::int8_t *q, std::int32_t *out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotI8Sse2(mat + rows[i] * dims, q, dims);
+}
+
+/** Unpack 8 packed bytes into 16 sign-extended nibble lanes. */
+__m128i
+unpackNibbles16Sse2(const std::uint8_t *p)
+{
+    const __m128i bytes = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(p));
+    const __m128i maskF = _mm_set1_epi8(0xF);
+    const __m128i lo = _mm_and_si128(bytes, maskF);
+    const __m128i hi =
+        _mm_and_si128(_mm_srli_epi16(bytes, 4), maskF);
+    // Interleaving low/high nibbles restores element order 0..15.
+    __m128i v = _mm_unpacklo_epi8(lo, hi);
+    // Two's-complement sign extension of 4-bit lanes: (v ^ 8) - 8.
+    const __m128i eight = _mm_set1_epi8(8);
+    return _mm_sub_epi8(_mm_xor_si128(v, eight), eight);
+}
+
+std::int32_t
+dotI4Sse2(const std::uint8_t *a, const std::int8_t *q, std::size_t n)
+{
+    __m128i acc = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i va = unpackNibbles16Sse2(a + i / 2);
+        const __m128i vq = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(q + i));
+        __m128i alo, ahi, qlo, qhi;
+        widenS8Sse2(va, alo, ahi);
+        widenS8Sse2(vq, qlo, qhi);
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(alo, qlo));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(ahi, qhi));
+    }
+    // i is even, so the tail starts on a byte boundary at a + i/2.
+    return hsumEpi32(acc) + dotI4Scalar(a + i / 2, q + i, n - i);
+}
+
+void
+gatherDotI4Sse2(const std::uint8_t *mat, std::size_t dims,
+                const std::uint32_t *rows, std::size_t count,
+                const std::int8_t *q, std::int32_t *out)
+{
+    const std::size_t rowBytes = (dims + 1) / 2;
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = dotI4Sse2(mat + rows[i] * rowBytes, q, dims);
+}
+
 void
 gatherWeightedSumSse2(const float *mat, std::size_t dims,
                       const std::uint32_t *rows, std::size_t count,
@@ -142,12 +237,19 @@ gatherWeightedSumSse2(const float *mat, std::size_t dims,
 const Kernels *
 sse2Kernels()
 {
+    // axpyI8/axpyI4 widen to int64 lanes, which SSE2 has no usable
+    // multiply for; the fallback tier shares the scalar bodies (still
+    // exact, still bit-identical — the class is unaffected).
     static const Kernels table{
         KernelIsa::Sse2, dotSse2,
         axpySse2,        maxReduceSse2,
         kernel_detail::expSumInPlaceScalar,
         scaleSse2,       divideBySse2,
         gatherDotSse2,   gatherWeightedSumSse2,
+        dotI8Sse2,       gatherDotI8Sse2,
+        dotI4Sse2,       gatherDotI4Sse2,
+        kernel_detail::axpyI8Scalar,
+        kernel_detail::axpyI4Scalar,
     };
     return &table;
 }

@@ -27,7 +27,9 @@ Scratch::reserveTask(std::size_t rows, std::size_t dims)
     reserveAtLeast(maxHeap, dims + 1);
     reserveAtLeast(minHeap, dims + 1);
     reserveAtLeast(queryQ, dims);
+    reserveAtLeast(queryQ8, dims);
     reserveAtLeast(dotQ, rows);
+    reserveAtLeast(dotQ32, rows);
     reserveAtLeast(scoreQ, rows);
     reserveAtLeast(outQ, dims);
 }

@@ -18,6 +18,7 @@
  *  - kept:                 post-scoring survivors
  *  - greedy/maxHeap/minHeap: efficientGreedySearch working state
  *  - queryQ/dotQ/scoreQ/outQ: quantized pipeline lanes
+ *  - queryQ8/dotQ32:        packed-kernel lanes of the same pipeline
  *
  * Scratch is deliberately value-only state: reusing it changes which
  * bytes of memory are written, never the values computed, so batched
@@ -73,8 +74,14 @@ struct Scratch
     /** Quantized query lane (length d). */
     std::vector<std::int64_t> queryQ;
 
+    /** Packed-path query lane: the same quantized words as int8. */
+    std::vector<std::int8_t> queryQ8;
+
     /** Quantized dot-product lane (length = row count). */
     std::vector<std::int64_t> dotQ;
+
+    /** Packed-kernel dot accumulators (length = row count). */
+    std::vector<std::int32_t> dotQ32;
 
     /** Quantized exponent-score lane (length = row count). */
     std::vector<std::int64_t> scoreQ;

@@ -27,6 +27,7 @@
 #include "attention/backend.hpp"
 #include "attention/reference.hpp"
 #include "engine/engine.hpp"
+#include "fixed/packed.hpp"
 #include "kernels/kernels.hpp"
 #include "kernels/scratch.hpp"
 #include "util/random.hpp"
@@ -362,6 +363,215 @@ TEST(KernelEquivalence, DotWithinRelativeTolerance)
                                        q.data(), c.dims))
                 << kernelIsaName(isa) << " row " << i;
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed integer kernels: exact on every table (integer addition is
+// associative), so agreement is EXPECT_EQ, not a tolerance.
+// ---------------------------------------------------------------------
+
+std::vector<std::int8_t>
+randomI8(Rng &rng, std::size_t n, int magnitude)
+{
+    std::vector<std::int8_t> v(n);
+    for (auto &x : v)
+        x = static_cast<std::int8_t>(
+            rng.uniformInt(-magnitude, magnitude));
+    return v;
+}
+
+/** Pack int4 lanes (values in [-7, 7]) into the nibble layout. */
+std::vector<std::uint8_t>
+packI4(const std::vector<std::int8_t> &lanes)
+{
+    std::vector<std::uint8_t> packed((lanes.size() + 1) / 2);
+    for (std::size_t i = 0; i < lanes.size(); i += 2) {
+        const std::int8_t hi =
+            i + 1 < lanes.size() ? lanes[i + 1] : std::int8_t{0};
+        packed[i / 2] = packNibblePair(lanes[i], hi);
+    }
+    return packed;
+}
+
+TEST(PackedKernels, EveryAvailableTableComplete)
+{
+    for (KernelIsa isa : availableKernelIsas()) {
+        const Kernels &k = kernelsFor(isa);
+        EXPECT_NE(k.dotI8, nullptr) << kernelIsaName(isa);
+        EXPECT_NE(k.gatherDotI8, nullptr) << kernelIsaName(isa);
+        EXPECT_NE(k.dotI4, nullptr) << kernelIsaName(isa);
+        EXPECT_NE(k.gatherDotI4, nullptr) << kernelIsaName(isa);
+        EXPECT_NE(k.axpyI8, nullptr) << kernelIsaName(isa);
+        EXPECT_NE(k.axpyI4, nullptr) << kernelIsaName(isa);
+    }
+}
+
+TEST(PackedKernels, DotI8MatchesWideReferenceOnEveryIsa)
+{
+    for (KernelIsa isa : availableKernelIsas()) {
+        const Kernels &k = kernelsFor(isa);
+        Rng rng(8101);
+        for (std::size_t n : kSizes) {
+            SCOPED_TRACE(std::string(kernelIsaName(isa)) + " n=" +
+                         std::to_string(n));
+            // Full symmetric range: -128 is excluded by the storage
+            // contract, -127..127 must all work.
+            const std::vector<std::int8_t> a = randomI8(rng, n, 127);
+            const std::vector<std::int8_t> b = randomI8(rng, n, 127);
+            std::int64_t exact = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                exact += static_cast<std::int64_t>(a[i]) * b[i];
+            EXPECT_EQ(k.dotI8(a.data(), b.data(), n), exact);
+        }
+    }
+}
+
+TEST(PackedKernels, DotI4MatchesWideReferenceOnEveryIsa)
+{
+    for (KernelIsa isa : availableKernelIsas()) {
+        const Kernels &k = kernelsFor(isa);
+        Rng rng(8102);
+        for (std::size_t n : kSizes) {
+            SCOPED_TRACE(std::string(kernelIsaName(isa)) + " n=" +
+                         std::to_string(n));
+            // Odd n exercises the trailing low-nibble lane.
+            const std::vector<std::int8_t> lanes = randomI8(rng, n, 7);
+            const std::vector<std::uint8_t> packed = packI4(lanes);
+            const std::vector<std::int8_t> q = randomI8(rng, n, 127);
+            std::int64_t exact = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                exact += static_cast<std::int64_t>(lanes[i]) * q[i];
+            EXPECT_EQ(k.dotI4(packed.data(), q.data(), n), exact);
+        }
+    }
+}
+
+TEST(PackedKernels, NibbleHelpersRoundTripEveryLane)
+{
+    for (int lo = -8; lo <= 7; ++lo) {
+        for (int hi = -8; hi <= 7; ++hi) {
+            const std::uint8_t byte =
+                packNibblePair(static_cast<std::int8_t>(lo),
+                               static_cast<std::int8_t>(hi));
+            EXPECT_EQ(unpackNibbleLow(byte), lo);
+            EXPECT_EQ(unpackNibbleHigh(byte), hi);
+        }
+    }
+}
+
+TEST(PackedKernels, GatherVariantsMatchPerRowDots)
+{
+    Rng rng(8103);
+    for (KernelIsa isa : availableKernelIsas()) {
+        const Kernels &k = kernelsFor(isa);
+        // Odd dims exercise nibble row alignment (each row starts on
+        // its own byte; the pad nibble must not leak into neighbors).
+        for (std::size_t dims : {1u, 3u, 7u, 16u, 33u, 64u, 65u}) {
+            SCOPED_TRACE(std::string(kernelIsaName(isa)) + " dims=" +
+                         std::to_string(dims));
+            const std::size_t matRows = 24;
+            const std::size_t count = 17;
+            const std::vector<std::int8_t> mat8 =
+                randomI8(rng, matRows * dims, 127);
+            const std::vector<std::int8_t> lanes4 =
+                randomI8(rng, matRows * dims, 7);
+            // Pack row by row so each row is byte-aligned.
+            std::vector<std::uint8_t> mat4;
+            const std::size_t rowBytes = (dims + 1) / 2;
+            for (std::size_t r = 0; r < matRows; ++r) {
+                const std::vector<std::int8_t> row(
+                    lanes4.begin() + r * dims,
+                    lanes4.begin() + (r + 1) * dims);
+                const std::vector<std::uint8_t> packedRow = packI4(row);
+                mat4.insert(mat4.end(), packedRow.begin(),
+                            packedRow.end());
+            }
+            ASSERT_EQ(mat4.size(), matRows * rowBytes);
+            const std::vector<std::int8_t> q = randomI8(rng, dims, 127);
+            // Repeated rows included: gathers may revisit a row.
+            std::vector<std::uint32_t> rows(count);
+            for (auto &r : rows)
+                r = static_cast<std::uint32_t>(rng.uniformInt(
+                    0, static_cast<int>(matRows) - 1));
+            rows[count - 1] = rows[0];
+
+            std::vector<std::int32_t> out8(count);
+            std::vector<std::int32_t> out4(count);
+            k.gatherDotI8(mat8.data(), dims, rows.data(), count,
+                          q.data(), out8.data());
+            k.gatherDotI4(mat4.data(), dims, rows.data(), count,
+                          q.data(), out4.data());
+            for (std::size_t i = 0; i < count; ++i) {
+                EXPECT_EQ(out8[i], k.dotI8(mat8.data() + rows[i] * dims,
+                                           q.data(), dims))
+                    << "row " << i;
+                EXPECT_EQ(out4[i],
+                          k.dotI4(mat4.data() + rows[i] * rowBytes,
+                                  q.data(), dims))
+                    << "row " << i;
+            }
+        }
+    }
+}
+
+TEST(PackedKernels, AxpyMatchesWideReferenceOnEveryIsa)
+{
+    const std::int64_t weights[] = {0, 1, -1, 4095, -4095, (1 << 24) - 1,
+                                    -((1 << 24) - 1)};
+    for (KernelIsa isa : availableKernelIsas()) {
+        const Kernels &k = kernelsFor(isa);
+        Rng rng(8104);
+        for (std::size_t n : kSizes) {
+            for (const std::int64_t w : weights) {
+                SCOPED_TRACE(std::string(kernelIsaName(isa)) + " n=" +
+                             std::to_string(n) + " w=" +
+                             std::to_string(w));
+                const std::vector<std::int8_t> x8 =
+                    randomI8(rng, n, 127);
+                const std::vector<std::int8_t> lanes4 =
+                    randomI8(rng, n, 7);
+                const std::vector<std::uint8_t> x4 = packI4(lanes4);
+                std::vector<std::int64_t> seed(n);
+                for (auto &y : seed)
+                    y = static_cast<std::int64_t>(
+                            rng.uniformInt(-1000000, 1000000))
+                        << 8;
+
+                std::vector<std::int64_t> got8 = seed;
+                std::vector<std::int64_t> want8 = seed;
+                k.axpyI8(w, x8.data(), got8.data(), n);
+                for (std::size_t i = 0; i < n; ++i)
+                    want8[i] += w * static_cast<std::int64_t>(x8[i]);
+                EXPECT_EQ(got8, want8);
+
+                std::vector<std::int64_t> got4 = seed;
+                std::vector<std::int64_t> want4 = seed;
+                k.axpyI4(w, x4.data(), got4.data(), n);
+                for (std::size_t i = 0; i < n; ++i)
+                    want4[i] += w * static_cast<std::int64_t>(lanes4[i]);
+                EXPECT_EQ(got4, want4);
+            }
+        }
+    }
+}
+
+TEST(PackedKernels, AllIsasBitIdenticalToScalar)
+{
+    const Kernels &scalar = scalarKernels();
+    Rng rng(8105);
+    const std::size_t n = 257;
+    const std::vector<std::int8_t> a = randomI8(rng, n, 127);
+    const std::vector<std::int8_t> b = randomI8(rng, n, 127);
+    const std::vector<std::int8_t> lanes = randomI8(rng, n, 7);
+    const std::vector<std::uint8_t> packed = packI4(lanes);
+    for (KernelIsa isa : availableKernelIsas()) {
+        const Kernels &k = kernelsFor(isa);
+        SCOPED_TRACE(kernelIsaName(isa));
+        EXPECT_EQ(k.dotI8(a.data(), b.data(), n),
+                  scalar.dotI8(a.data(), b.data(), n));
+        EXPECT_EQ(k.dotI4(packed.data(), b.data(), n),
+                  scalar.dotI4(packed.data(), b.data(), n));
     }
 }
 

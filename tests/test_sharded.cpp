@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "attention/backend.hpp"
+#include "attention/quantized.hpp"
 #include "engine/engine.hpp"
 #include "engine/thread_pool.hpp"
 #include "serving/batch_scheduler.hpp"
@@ -276,6 +277,52 @@ TEST(ShardedBackend, AllKindsAccuracyBoundedVsReference)
         const float bound =
             kind == EngineKind::ExactFloat ? 1e-5f : 0.5f;
         EXPECT_LE(worst, bound);
+    }
+}
+
+TEST(ShardedBackend, PackedQuantizedShardsMatchWord32AndShrink)
+{
+    // The EngineConfig's packedKv knob rides into every shard via
+    // makeBackend: shards store packed lanes, the aggregate
+    // memoryBytes() reports the packed footprint, and — packing being
+    // lossless — the merged results are bit-identical to the Word32
+    // layout of the same configuration.
+    Rng rng(11950);
+    const std::size_t n = 96;
+    const std::size_t d = 64;  // per-row scale overhead amortizes at
+                               // the paper-default dimension
+    const Matrix key = randomMatrix(rng, n, d);
+    const Matrix value = randomMatrix(rng, n, d);
+
+    EngineConfig cfg;
+    cfg.kind = EngineKind::ExactQuantized;
+    cfg.intBits = 1;
+    cfg.fracBits = 2;  // 4-bit word: Auto resolves to Int4
+    ShardedConfig sharding;
+    sharding.shardRows = 25;
+    const ShardedBackend packed(cfg, key, value, sharding);
+
+    EngineConfig word32Cfg = cfg;
+    word32Cfg.packedKv = PackedKvFormat::Word32;
+    const ShardedBackend word32(word32Cfg, key, value, sharding);
+
+    ASSERT_EQ(packed.shardCount(), word32.shardCount());
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < packed.shardCount(); ++s) {
+        const auto *qa = dynamic_cast<const QuantizedAttention *>(
+            &packed.shard(s));
+        ASSERT_NE(qa, nullptr) << "shard " << s;
+        EXPECT_EQ(qa->packedFormat(), PackedKvFormat::Int4);
+        total += packed.shard(s).memoryBytes();
+    }
+    EXPECT_EQ(packed.memoryBytes(), total);
+    // The 4-8x shrink survives aggregation (int4 + per-row scales
+    // against the format-independent 8 bytes/element Word32 layout).
+    EXPECT_LE(packed.memoryBytes() * 6, word32.memoryBytes());
+
+    for (int trial = 0; trial < 6; ++trial) {
+        const Vector q = randomQuery(rng, d);
+        expectBitIdentical(packed.run(q), word32.run(q));
     }
 }
 
