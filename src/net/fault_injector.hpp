@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection at the transport seam.
+ *
+ * Every recovery path of the distributed tier — timeout, retry,
+ * backoff, failover, re-replication, local fallback — must be
+ * testable without flaky real crashes. FaultyTransport wraps any
+ * Transport and applies a seeded FaultPlan: per frame class and
+ * direction it can Drop a frame (the peer never sees it — the
+ * receiver's deadline fires), Delay it (slow-shard emulation),
+ * Corrupt it (a payload byte flip the receiver's checksum rejects),
+ * or Close the connection (worker-death emulation). Decisions come
+ * from the repo's xoshiro Rng, so a (seed, traffic) pair replays
+ * the identical fault sequence on every run and platform.
+ *
+ * Corruption is injected on the send side so the real checksum
+ * verification in SocketTransport::recv does the rejecting; a
+ * recv-side Corrupt instead synthesizes the BadChecksum status
+ * directly (the payload has already been verified by then), which
+ * exercises the caller's corruption handling deterministically.
+ */
+
+#ifndef A3_NET_FAULT_INJECTOR_HPP
+#define A3_NET_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+
+/** What a triggered fault does to the frame. */
+enum class FaultAction {
+    Drop,  ///< swallow the frame; the peer never receives it
+
+    /**
+     * Send side: sleep delaySeconds before delivering (a slow
+     * link). Recv side: surface a Timeout now and deliver the
+     * frame on the next recv() — a reply limping in after the
+     * caller's deadline, which is what exercises the stale-reply
+     * discard path.
+     */
+    Delay,
+
+    Corrupt,  ///< flip a payload byte (checksum rejects it)
+    Close,    ///< close the connection instead of delivering
+};
+
+/** Which side of the wrapped transport a rule applies to. */
+enum class FaultDirection {
+    Send,  ///< frames this endpoint sends
+    Recv,  ///< frames this endpoint receives
+    Both,
+};
+
+/** One matching rule of a FaultPlan. */
+struct FaultRule
+{
+    /** Frame class the rule applies to. */
+    FrameType type = FrameType::Query;
+
+    /** Match any frame type, ignoring `type`. */
+    bool anyType = false;
+
+    FaultAction action = FaultAction::Drop;
+    FaultDirection direction = FaultDirection::Both;
+
+    /** Trigger probability per matching frame (1.0 = always). */
+    double probability = 1.0;
+
+    /** Sleep for Delay actions, in seconds. */
+    double delaySeconds = 0.0;
+
+    /**
+     * Cap on how often this rule may trigger; the default is
+     * unbounded. Bounded rules ("corrupt the first two queries")
+     * make recovery assertions exact.
+     */
+    std::size_t maxTriggers =
+        std::numeric_limits<std::size_t>::max();
+};
+
+/** Counts of injected faults, by action. */
+struct FaultStats
+{
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t closed = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return dropped + delayed + corrupted + closed;
+    }
+};
+
+/**
+ * Seeded rule evaluator, shared by the FaultyTransports of one
+ * test so a multi-connection fault schedule stays one deterministic
+ * stream. Thread-safe: decisions and counters are lock-protected.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(std::uint64_t seed, std::vector<FaultRule> rules);
+
+    /**
+     * First rule triggering for (type, direction), consuming its
+     * probability draw and trigger budget; nullptr when none fire.
+     */
+    const FaultRule *decide(FrameType type,
+                            FaultDirection direction);
+
+    FaultStats stats() const;
+
+  private:
+    struct ArmedRule
+    {
+        FaultRule rule;
+        std::size_t triggered = 0;
+    };
+
+    mutable std::mutex mutex_;
+    Rng rng_;
+    std::vector<ArmedRule> rules_;
+    FaultStats stats_;
+};
+
+/** Transport decorator applying a FaultInjector's plan. */
+class FaultyTransport final : public Transport
+{
+  public:
+    FaultyTransport(std::shared_ptr<Transport> inner,
+                    std::shared_ptr<FaultInjector> injector);
+
+    NetStatus send(const Frame &frame) override;
+    NetStatus recv(Frame &out, double timeoutSeconds) override;
+    void close() override { inner_->close(); }
+    bool isOpen() const override { return inner_->isOpen(); }
+
+  private:
+    std::shared_ptr<Transport> inner_;
+    std::shared_ptr<FaultInjector> injector_;
+
+    /** Recv-delayed frames awaiting the next recv() call. */
+    std::vector<Frame> delayed_;
+};
+
+}  // namespace a3
+
+#endif  // A3_NET_FAULT_INJECTOR_HPP

@@ -1,0 +1,44 @@
+#include "net/net_error.hpp"
+
+namespace a3 {
+
+const char *
+netErrorName(NetError error)
+{
+    switch (error) {
+    case NetError::Ok:
+        return "ok";
+    case NetError::Timeout:
+        return "timeout";
+    case NetError::Closed:
+        return "closed";
+    case NetError::Malformed:
+        return "malformed";
+    case NetError::BadChecksum:
+        return "bad-checksum";
+    case NetError::BadVersion:
+        return "bad-version";
+    case NetError::WorkerError:
+        return "worker-error";
+    case NetError::StaleShard:
+        return "stale-shard";
+    case NetError::SystemError:
+        return "system-error";
+    }
+    return "unknown";
+}
+
+std::string
+NetStatus::str() const
+{
+    if (ok())
+        return "ok";
+    std::string out = netErrorName(error);
+    if (!message.empty()) {
+        out += ": ";
+        out += message;
+    }
+    return out;
+}
+
+}  // namespace a3

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Typed error reporting for the distributed-serving network layer.
+ *
+ * Remote failures — timeouts, closed connections, malformed or
+ * corrupted frames, worker-side errors — are expected operating
+ * conditions of a cluster, not programmer errors, so nothing in
+ * src/net/ or the remote serving tier may fatal()/panic() on them
+ * (see ISSUE 7's robustness contract). Every fallible operation
+ * returns a NetStatus naming what went wrong; callers decide whether
+ * to retry, fail over, or surface the error. fatal()/panic() remain
+ * reserved for contract violations (bad configuration, indexing
+ * bugs), and those paths carry death-test coverage.
+ */
+
+#ifndef A3_NET_NET_ERROR_HPP
+#define A3_NET_NET_ERROR_HPP
+
+#include <string>
+#include <utility>
+
+namespace a3 {
+
+/** What went wrong with a network operation. */
+enum class NetError {
+    Ok = 0,           ///< success
+    Timeout,          ///< deadline expired before completion
+    Closed,           ///< peer closed or connection unusable
+    Malformed,        ///< frame violated the protocol framing rules
+    BadChecksum,      ///< payload checksum mismatch (corruption)
+    BadVersion,       ///< peer speaks an unsupported protocol version
+    WorkerError,      ///< worker answered with an Error frame
+    StaleShard,       ///< worker's shard binding is gone or outdated
+    SystemError,      ///< socket/OS call failed (errno in message)
+};
+
+/** Stable lowercase name of a NetError ("timeout", "closed", ...). */
+const char *netErrorName(NetError error);
+
+/** Outcome of one fallible network operation. */
+struct NetStatus
+{
+    NetError error = NetError::Ok;
+    std::string message;
+
+    bool ok() const { return error == NetError::Ok; }
+
+    static NetStatus success() { return NetStatus{}; }
+
+    static NetStatus
+    failure(NetError error, std::string message)
+    {
+        return NetStatus{error, std::move(message)};
+    }
+
+    /** "ok", or "<name>: <message>" for failures. */
+    std::string str() const;
+};
+
+}  // namespace a3
+
+#endif  // A3_NET_NET_ERROR_HPP

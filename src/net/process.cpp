@@ -1,0 +1,84 @@
+#include "net/process.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace a3 {
+
+ChildProcess::~ChildProcess()
+{
+    kill();
+    wait();
+}
+
+ChildProcess::ChildProcess(ChildProcess &&other) noexcept
+    : pid_(std::exchange(other.pid_, -1))
+{
+}
+
+ChildProcess &
+ChildProcess::operator=(ChildProcess &&other) noexcept
+{
+    if (this != &other) {
+        kill();
+        wait();
+        pid_ = std::exchange(other.pid_, -1);
+    }
+    return *this;
+}
+
+NetStatus
+ChildProcess::spawn(const std::string &binary,
+                    const std::vector<std::string> &args)
+{
+    kill();
+    wait();
+
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 2);
+    std::string argv0 = binary;
+    argv.push_back(argv0.data());
+    std::vector<std::string> owned = args;
+    for (std::string &arg : owned)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return NetStatus::failure(NetError::SystemError,
+                                  std::string("fork: ") +
+                                      std::strerror(errno));
+    if (pid == 0) {
+        ::execv(binary.c_str(), argv.data());
+        // Only reached when exec failed; 127 is the shell's
+        // command-not-found convention and is what wait() reports.
+        ::_exit(127);
+    }
+    pid_ = pid;
+    return NetStatus::success();
+}
+
+void
+ChildProcess::kill()
+{
+    if (pid_ > 0)
+        ::kill(pid_, SIGKILL);
+}
+
+void
+ChildProcess::wait()
+{
+    if (pid_ > 0) {
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+    }
+}
+
+}  // namespace a3

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Child-process control for real shard workers.
+ *
+ * tests/test_remote.cpp and bench/distributed_scaling exercise the
+ * failure paths the fault injector cannot: an actual worker process
+ * SIGKILLed mid-stream, with the kernel closing its sockets. This
+ * small RAII wrapper owns that lifecycle — spawn a binary with
+ * arguments, kill it abruptly, reap it — so worker death is one
+ * deliberate call rather than scattered fork/exec boilerplate.
+ */
+
+#ifndef A3_NET_PROCESS_HPP
+#define A3_NET_PROCESS_HPP
+
+#include <string>
+#include <vector>
+
+#include "net/net_error.hpp"
+
+#include <sys/types.h>
+
+namespace a3 {
+
+/** One spawned child process (a shard worker, usually). */
+class ChildProcess
+{
+  public:
+    ChildProcess() = default;
+
+    /** Reaps the child (killing it first if still running). */
+    ~ChildProcess();
+
+    ChildProcess(const ChildProcess &) = delete;
+    ChildProcess &operator=(const ChildProcess &) = delete;
+    ChildProcess(ChildProcess &&other) noexcept;
+    ChildProcess &operator=(ChildProcess &&other) noexcept;
+
+    /**
+     * fork + exec `binary` with `args` (argv[0] is derived from
+     * the binary path). A failed exec exits the child with 127;
+     * the parent only fails here when fork itself does.
+     */
+    NetStatus spawn(const std::string &binary,
+                    const std::vector<std::string> &args);
+
+    /**
+     * SIGKILL the child — the abrupt worker-death case recovery is
+     * measured against. No-op when not running.
+     */
+    void kill();
+
+    /** Reap the child if it has exited or been killed. */
+    void wait();
+
+    /** Child is spawned and not yet reaped. */
+    bool running() const { return pid_ > 0; }
+
+    pid_t pid() const { return pid_; }
+
+  private:
+    pid_t pid_ = -1;
+};
+
+}  // namespace a3
+
+#endif  // A3_NET_PROCESS_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <utility>
 
@@ -21,6 +22,18 @@ nowSeconds()
 }
 
 }  // namespace
+
+const char *
+servingErrorName(ServingError error)
+{
+    switch (error) {
+    case ServingError::None:
+        return "none";
+    case ServingError::SessionUnbound:
+        return "session_unbound";
+    }
+    return "unknown";
+}
 
 BatchScheduler::BatchScheduler(AttentionEngine &engine,
                                SessionCache &cache,
@@ -267,7 +280,14 @@ BatchScheduler::drain()
     // groups ordered by first claim, queries in ticket order within
     // their group (the claim order). The shared_ptrs pin every
     // backend for the duration of the pass even if the cache evicts
-    // the session concurrently.
+    // the session concurrently. A session unbound at lookup time
+    // (evicted between submit and drain, or its backend mid-rebind)
+    // completes its claimed requests with a typed SessionUnbound
+    // error instead of aborting the server.
+    constexpr std::size_t kUnbound =
+        std::numeric_limits<std::size_t>::max();
+    std::vector<ServingResult> completions;
+    completions.reserve(batch.size());
     std::vector<AttentionRequestGroup> groups;
     std::vector<std::shared_ptr<AttentionBackend>> pinned;
     std::vector<std::string> sessionOf;
@@ -276,21 +296,27 @@ BatchScheduler::drain()
     for (std::size_t r = 0; r < batch.size(); ++r) {
         const std::string &session = batchSession[r];
         const auto found = groupIndex.find(session);
-        std::size_t g = found == groupIndex.end() ? sessionOf.size()
-                                                  : found->second;
-        if (g == sessionOf.size()) {
-            groupIndex.emplace(session, g);
+        std::size_t g;
+        if (found != groupIndex.end()) {
+            g = found->second;
+        } else {
             std::shared_ptr<AttentionBackend> backend =
                 cache_.find(session);
             if (backend == nullptr) {
-                fatal("BatchScheduler: session \"", session,
-                      "\" is not bound in the cache (bind it, or "
-                      "re-bind after eviction, before draining)");
+                g = kUnbound;
+            } else {
+                g = sessionOf.size();
+                sessionOf.push_back(session);
+                ticketsOf.emplace_back();
+                groups.push_back({backend.get(), {}});
+                pinned.push_back(std::move(backend));
             }
-            sessionOf.push_back(session);
-            ticketsOf.emplace_back();
-            groups.push_back({backend.get(), {}});
-            pinned.push_back(std::move(backend));
+            groupIndex.emplace(session, g);
+        }
+        if (g == kUnbound) {
+            completions.push_back({batch[r].ticket, session, {},
+                                   ServingError::SessionUnbound});
+            continue;
         }
         groups[g].queries.push_back(std::move(batch[r].query));
         ticketsOf[g].push_back(batch[r].ticket);
@@ -311,12 +337,11 @@ BatchScheduler::drain()
                           });
     const double passSeconds = nowSeconds() - passStart;
 
-    std::vector<ServingResult> completions;
-    completions.reserve(batch.size());
     for (std::size_t g = 0; g < groups.size(); ++g) {
         for (std::size_t q = 0; q < ticketsOf[g].size(); ++q) {
             completions.push_back({ticketsOf[g][q], sessionOf[g],
-                                   std::move(groupResults[g][q])});
+                                   std::move(groupResults[g][q]),
+                                   ServingError::None});
         }
     }
     std::sort(completions.begin(), completions.end(),

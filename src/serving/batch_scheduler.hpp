@@ -51,12 +51,34 @@
 
 namespace a3 {
 
+/**
+ * Why a drained request carries no answer. Remote-reachable
+ * conditions (a session evicted between submit and drain, a backend
+ * being rebound during failover) surface here as typed errors; only
+ * programmer-contract violations still abort.
+ */
+enum class ServingError
+{
+    None = 0,
+
+    /** The session was not bound in the cache at drain time. */
+    SessionUnbound,
+};
+
+/** Stable lowercase name ("none", "session_unbound"). */
+const char *servingErrorName(ServingError error);
+
 /** One completed request: its ticket, session, and answer. */
 struct ServingResult
 {
     std::uint64_t ticket = 0;
     std::string session;
     AttentionResult result;
+
+    /** ServingError::None iff `result` holds an answer. */
+    ServingError error = ServingError::None;
+
+    bool ok() const { return error == ServingError::None; }
 };
 
 /**
@@ -179,8 +201,10 @@ class BatchScheduler
      * over the pending sessions, answer them in one batched engine
      * pass, and return the completions sorted by ticket. Sessions are
      * looked up in the cache once per drain (holding the backend
-     * alive across any concurrent eviction); an unbound session is a
-     * fatal error naming the session id. Thread-safe: concurrent
+     * alive across any concurrent eviction); requests of a session
+     * not bound at drain time complete with
+     * ServingError::SessionUnbound instead of aborting — the caller
+     * re-binds and resubmits. Thread-safe: concurrent
      * drain() calls claim disjoint requests and own their result
      * buffers. Within one session, requests are claimed in ticket
      * order — a truncated drain never answers a session's later

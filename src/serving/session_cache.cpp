@@ -90,17 +90,14 @@ SessionCache::insertLocked(const std::string &session,
     return inserted->second.backend;
 }
 
-void
+bool
 SessionCache::append(const std::string &session, const Matrix &keyRows,
                      const Matrix &valueRows)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(session);
-    if (it == entries_.end()) {
-        fatal("SessionCache::append: session \"", session,
-              "\" is not bound (bind it before streaming context "
-              "updates)");
-    }
+    if (it == entries_.end())
+        return false;
     Entry &entry = it->second;
     bytesInUse_ -= entry.bytes;
     entry.backend->append(keyRows, valueRows);
@@ -109,6 +106,7 @@ SessionCache::append(const std::string &session, const Matrix &keyRows,
     ++stats_.appends;
     touchLocked(entry);
     enforceBudgetLocked(session);
+    return true;
 }
 
 void

@@ -93,10 +93,11 @@ class SessionCache
     /**
      * Extend a bound session's context through the backend's
      * incremental append() and re-charge its bytes against the
-     * budget. The session must be bound (fatal otherwise), and no
-     * queries may be in flight against it.
+     * budget. Returns false when the session is not bound (it may
+     * have been evicted concurrently — the caller re-binds and
+     * retries); no queries may be in flight against the session.
      */
-    void append(const std::string &session, const Matrix &keyRows,
+    bool append(const std::string &session, const Matrix &keyRows,
                 const Matrix &valueRows);
 
     /**

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "kernels/kernels.hpp"
+#include "serving/partial_merge.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -20,19 +21,16 @@ ShardedBackend::ShardedBackend(const EngineConfig &inner, Matrix key,
              "attention task must be non-empty");
     dims_ = key.cols();
 
-    // Row-contiguous, size-balanced partition: ceil(n / shardRows)
-    // shards, the first n % S of them one row larger. Balanced sizes
-    // never exceed shardRows, so append() capacity math stays valid.
-    const std::size_t n = key.rows();
-    const std::size_t shardCount =
-        (n + config_.shardRows - 1) / config_.shardRows;
-    const std::size_t base = n / shardCount;
-    const std::size_t extra = n % shardCount;
+    // Row-contiguous, size-balanced partition (the layout contract
+    // shared with RemoteShardCoordinator via balancedShardSizes).
+    // Balanced sizes never exceed shardRows, so append() capacity
+    // math stays valid.
+    const std::vector<std::size_t> sizes =
+        balancedShardSizes(key.rows(), config_.shardRows);
     std::size_t offset = 0;
-    shards_.reserve(shardCount);
-    offsets_.reserve(shardCount);
-    for (std::size_t s = 0; s < shardCount; ++s) {
-        const std::size_t take = base + (s < extra ? 1 : 0);
+    shards_.reserve(sizes.size());
+    offsets_.reserve(sizes.size());
+    for (const std::size_t take : sizes) {
         shards_.push_back(makeBackend(inner_,
                                       key.rowSlice(offset, take),
                                       value.rowSlice(offset, take)));
@@ -109,52 +107,10 @@ ShardedBackend::mergePartials(
     const std::vector<PartialResult> &partials,
     PartialResult &out) const
 {
-    const Kernels &k = activeKernels();
-    const std::size_t n = rows();
-
-    // Global max first: the shard holding it gets scale exp(0) = 1
-    // exactly, so its terms pass through the merge untouched.
-    float maxScore = partials.front().maxScore;
-    for (const PartialResult &p : partials)
-        maxScore = std::max(maxScore, p.maxScore);
-
-    out.scores.assign(n, 0.0f);
-    out.expWeights.assign(n, 0.0f);
-    out.candidates.clear();
-    out.kept.clear();
-    out.iterations = 0;
-    out.maxScore = maxScore;
-    out.expSum = 0.0f;
-    out.accum.assign(dims_, 0.0f);
-
-    // Serial merge in shard-index order, regardless of how the
-    // partials were computed — the fixed order that makes parallel
-    // and serial fan-out bit-identical.
-    for (std::size_t s = 0; s < partials.size(); ++s) {
-        const PartialResult &p = partials[s];
-        const std::size_t offset = offsets_[s];
-        const std::size_t local = shards_[s]->rows();
-        const float scale = std::exp(p.maxScore - maxScore);
-
-        std::copy(p.scores.begin(), p.scores.end(),
-                  out.scores.begin() +
-                      static_cast<std::ptrdiff_t>(offset));
-        std::copy(p.expWeights.begin(), p.expWeights.end(),
-                  out.expWeights.begin() +
-                      static_cast<std::ptrdiff_t>(offset));
-        k.scale(out.expWeights.data() + offset, local, scale);
-        k.axpy(scale, p.accum.data(), out.accum.data(), dims_);
-        out.expSum += p.expSum * scale;
-        out.iterations += p.iterations;
-
-        const auto globalId = [offset](std::uint32_t id) {
-            return static_cast<std::uint32_t>(offset + id);
-        };
-        for (const std::uint32_t id : p.candidates)
-            out.candidates.push_back(globalId(id));
-        for (const std::uint32_t id : p.kept)
-            out.kept.push_back(globalId(id));
-    }
+    // The shared fixed-order log-sum-exp combine — the same code
+    // RemoteShardCoordinator merges worker partials through, which
+    // is what keeps remote results bit-identical to local ones.
+    mergeShardPartials(partials, offsets_, rows(), dims_, out);
 }
 
 void

@@ -117,9 +117,40 @@ LatencyReservoir::LatencyReservoir(std::size_t capacity)
     samples_.reserve(capacity);
 }
 
+LatencyReservoir::LatencyReservoir(const LatencyReservoir &other)
+{
+    const std::lock_guard<std::mutex> lock(other.mutex_);
+    capacity_ = other.capacity_;
+    samples_ = other.samples_;
+    next_ = other.next_;
+    size_ = other.size_;
+    count_ = other.count_;
+}
+
+LatencyReservoir &
+LatencyReservoir::operator=(const LatencyReservoir &other)
+{
+    if (this == &other)
+        return *this;
+    // Lock both sides in a fixed address order so two threads
+    // assigning reservoirs to each other cannot deadlock.
+    std::mutex *first = &mutex_ < &other.mutex_ ? &mutex_
+                                                : &other.mutex_;
+    std::mutex *second = first == &mutex_ ? &other.mutex_ : &mutex_;
+    const std::lock_guard<std::mutex> lockFirst(*first);
+    const std::lock_guard<std::mutex> lockSecond(*second);
+    capacity_ = other.capacity_;
+    samples_ = other.samples_;
+    next_ = other.next_;
+    size_ = other.size_;
+    count_ = other.count_;
+    return *this;
+}
+
 void
 LatencyReservoir::add(double sample)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (size_ < capacity_) {
         samples_.push_back(sample);
         ++size_;
@@ -130,9 +161,24 @@ LatencyReservoir::add(double sample)
     ++count_;
 }
 
+std::size_t
+LatencyReservoir::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+}
+
+std::uint64_t
+LatencyReservoir::count() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
 double
 LatencyReservoir::percentile(double fraction) const
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (size_ == 0)
         return 0.0;
     return a3::percentile(samples_, fraction);
@@ -142,6 +188,7 @@ void
 LatencyReservoir::percentiles(const double *fractions,
                               std::size_t count, double *out) const
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (size_ == 0) {
         std::fill(out, out + count, 0.0);
         return;
@@ -155,6 +202,7 @@ LatencyReservoir::percentiles(const double *fractions,
 void
 LatencyReservoir::clear()
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     samples_.clear();
     next_ = 0;
     size_ = 0;

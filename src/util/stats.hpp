@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 namespace a3 {
@@ -120,12 +121,21 @@ double percentileSorted(const std::vector<double> &sorted,
  * sample (a deterministic last-N window, not randomized reservoir
  * sampling, so seeded runs reproduce identical tails). percentile()
  * reads the retained window through a3::percentile().
+ *
+ * Thread-safe: every member takes an internal lock, so recorders
+ * (drain threads, heartbeat threads) and percentile readers (stats
+ * snapshots) may run concurrently. A reader sees some consistent
+ * window — each sample is recorded atomically, and copies (the
+ * stats-snapshot path) lock the source.
  */
 class LatencyReservoir
 {
   public:
     /** @param capacity retained window size (> 0). */
     explicit LatencyReservoir(std::size_t capacity);
+
+    LatencyReservoir(const LatencyReservoir &other);
+    LatencyReservoir &operator=(const LatencyReservoir &other);
 
     /** Record one sample, evicting the oldest when full. */
     void add(double sample);
@@ -134,10 +144,10 @@ class LatencyReservoir
     std::size_t capacity() const { return capacity_; }
 
     /** Samples currently retained (<= capacity). */
-    std::size_t size() const { return size_; }
+    std::size_t size() const;
 
     /** Total samples ever recorded, including evicted ones. */
-    std::uint64_t count() const { return count_; }
+    std::uint64_t count() const;
 
     /**
      * Exact percentile over the retained window (linear
@@ -160,6 +170,7 @@ class LatencyReservoir
     void clear();
 
   private:
+    mutable std::mutex mutex_;
     std::size_t capacity_ = 0;
     std::vector<double> samples_;
     /** Slot the next add() overwrites once the window is full. */

@@ -254,14 +254,17 @@ TEST(SessionCache, AppendUpdatesAccountingAndBackend)
     const auto backend = cache.bind("s", cfg, randomMatrix(rng, 20, 8),
                                     randomMatrix(rng, 20, 8));
     const std::size_t before = cache.bytesInUse();
-    cache.append("s", randomMatrix(rng, 4, 8), randomMatrix(rng, 4, 8));
+    EXPECT_TRUE(cache.append("s", randomMatrix(rng, 4, 8),
+                             randomMatrix(rng, 4, 8)));
     EXPECT_EQ(backend->rows(), 24u);
     EXPECT_GT(cache.bytesInUse(), before);
     EXPECT_EQ(cache.bytesInUse(), backend->memoryBytes());
     EXPECT_EQ(cache.stats().appends, 1u);
-    EXPECT_DEATH(cache.append("missing", randomMatrix(rng, 1, 8),
-                              randomMatrix(rng, 1, 8)),
-                 "not bound");
+    // An unbound (e.g. concurrently evicted) session is a typed
+    // refusal the caller handles by re-binding, not an abort.
+    EXPECT_FALSE(cache.append("missing", randomMatrix(rng, 1, 8),
+                              randomMatrix(rng, 1, 8)));
+    EXPECT_EQ(cache.stats().appends, 1u);
 }
 
 TEST(SessionCache, EraseAndClear)
@@ -414,6 +417,119 @@ TEST(BatchScheduler, ConcurrentSubmittersGetDistinctTickets)
               static_cast<std::size_t>(kThreads * kPerThread));
     for (std::size_t i = 1; i < completions.size(); ++i)
         EXPECT_LT(completions[i - 1].ticket, completions[i].ticket);
+}
+
+/**
+ * A session evicted (or failed over and not yet re-bound) between
+ * submit and drain must not abort the server: its requests complete
+ * with a typed SessionUnbound error, bound sessions in the same
+ * batch still get bit-identical answers, and a retry after
+ * re-binding is answered in ticket order.
+ */
+TEST(BatchScheduler, UnboundSessionCompletesWithTypedError)
+{
+    Rng rng(10100);
+    const std::size_t d = 8;
+    AttentionEngine engine(2);
+    SessionCache cache;
+    BatchScheduler scheduler(engine, cache);
+    EngineConfig cfg;
+    cfg.kind = EngineKind::ExactFloat;
+    cache.bind("bound", cfg, randomMatrix(rng, 12, d),
+               randomMatrix(rng, 12, d));
+
+    std::vector<std::uint64_t> ghostTickets;
+    std::vector<Vector> ghostQueries;
+    std::vector<std::uint64_t> boundTickets;
+    std::vector<Vector> boundQueries;
+    for (int i = 0; i < 6; ++i) {
+        Vector q = randomQuery(rng, d);
+        const bool ghost = i % 2 == 0;
+        const AdmissionOutcome outcome =
+            scheduler.submit(ghost ? "ghost" : "bound", q);
+        ASSERT_TRUE(outcome.admitted());
+        (ghost ? ghostTickets : boundTickets)
+            .push_back(outcome.ticket);
+        (ghost ? ghostQueries : boundQueries)
+            .push_back(std::move(q));
+    }
+
+    const auto completions = scheduler.drain();
+    ASSERT_EQ(completions.size(), 6u);
+    std::size_t unbound = 0;
+    for (std::size_t i = 0; i < completions.size(); ++i) {
+        SCOPED_TRACE("request " + std::to_string(i));
+        if (i > 0)
+            EXPECT_LT(completions[i - 1].ticket,
+                      completions[i].ticket);
+        const ServingResult &r = completions[i];
+        if (r.session == "ghost") {
+            ++unbound;
+            EXPECT_FALSE(r.ok());
+            EXPECT_EQ(r.error, ServingError::SessionUnbound);
+            EXPECT_TRUE(r.result.output.empty());
+        } else {
+            EXPECT_TRUE(r.ok());
+            EXPECT_EQ(r.error, ServingError::None);
+            EXPECT_FALSE(r.result.output.empty());
+        }
+    }
+    EXPECT_EQ(unbound, ghostTickets.size());
+    EXPECT_EQ(scheduler.pending(), 0u);
+
+    // The caller's recovery: bind the session and resubmit. The
+    // retry is answered in ticket order, bit-identical to a direct
+    // run against the freshly bound backend.
+    const auto backend =
+        cache.bind("ghost", cfg, randomMatrix(rng, 10, d),
+                   randomMatrix(rng, 10, d));
+    std::vector<std::uint64_t> retryTickets;
+    for (const Vector &q : ghostQueries) {
+        const AdmissionOutcome outcome =
+            scheduler.submit("ghost", q);
+        ASSERT_TRUE(outcome.admitted());
+        retryTickets.push_back(outcome.ticket);
+    }
+    const auto retried = scheduler.drain();
+    ASSERT_EQ(retried.size(), ghostQueries.size());
+    for (std::size_t i = 0; i < retried.size(); ++i) {
+        SCOPED_TRACE("retry " + std::to_string(i));
+        EXPECT_EQ(retried[i].ticket, retryTickets[i]);
+        EXPECT_GT(retried[i].ticket, completions.back().ticket);
+        EXPECT_TRUE(retried[i].ok());
+        expectBitIdentical(retried[i].result,
+                           backend->run(ghostQueries[i]));
+    }
+    EXPECT_STREQ(servingErrorName(ServingError::SessionUnbound),
+                 "session_unbound");
+    EXPECT_STREQ(servingErrorName(ServingError::None), "none");
+}
+
+/**
+ * The remote-reachable error paths return typed errors; what
+ * remains fatal is exactly the programmer-contract surface. Pin
+ * those contracts here so a refactor that silently downgrades (or
+ * widens) an abort shows up as a test failure.
+ */
+TEST(FatalContractDeathTest, CacheRejectsNullBackendInsert)
+{
+    SessionCache cache;
+    EXPECT_DEATH(cache.insert("s", nullptr), "null backend");
+}
+
+TEST(FatalContractDeathTest, SchedulerRejectsZeroSessionWeight)
+{
+    AttentionEngine engine(1);
+    SessionCache cache;
+    BatchScheduler scheduler(engine, cache);
+    EXPECT_DEATH(scheduler.setSessionWeight("s", 0),
+                 "weight must be positive");
+}
+
+TEST(FatalContractDeathTest, ReservoirRejectsZeroCapacity)
+{
+    EXPECT_DEATH(LatencyReservoir reservoir(0),
+                 "positive capacity");
 }
 
 TEST(SessionCache, ResetCountersKeepsSessions)

@@ -2,15 +2,22 @@
 """Gate bench JSON metrics against a committed baseline.
 
 Reads the JSON emitted by bench/engine_throughput,
-bench/serving_throughput, and bench/overload_fairness plus a
-baseline file (default bench/baselines/ci_baseline.json) describing
-the metrics to gate, and fails (exit 1) when any metric regresses
-past the tolerance factor: for higher-is-better metrics the current
-value must be at least baseline / tolerance; for lower-is-better, at
-most baseline * tolerance. The default tolerance of 2.0 means ">2x
-regressions fail" while absorbing the noise of shared CI runners;
-count-derived metrics (shed rate, fairness shares) are deterministic
-and carry tighter per-metric tolerances in the baseline.
+bench/serving_throughput, bench/overload_fairness, and
+bench/distributed_scaling plus a baseline file (default
+bench/baselines/ci_baseline.json) describing the metrics to gate,
+and fails (exit 1) when any metric regresses past the tolerance
+factor: for higher-is-better metrics the current value must be at
+least baseline / tolerance; for lower-is-better, at most baseline *
+tolerance. The default tolerance of 2.0 means ">2x regressions
+fail" while absorbing the noise of shared CI runners; count-derived
+metrics (shed rate, fairness shares) are deterministic and carry
+tighter per-metric tolerances in the baseline.
+
+A metric that cannot be evaluated against its document — the
+baseline names a path or field the run didn't emit, or the run's
+shape drifted from what the baseline expects — is reported as a
+named FAIL rather than crashing the gate, so a bench that silently
+stops emitting a gated metric cannot turn the check green.
 
 Baseline format (see bench/baselines/ci_baseline.json):
 
@@ -42,9 +49,12 @@ Local usage, from the repository root:
     ./build/bench/serving_throughput --repeats 5 --max-rows 512 \
         > srv.json
     ./build/bench/overload_fairness --rounds 20 > ovl.json
+    ./build/bench/distributed_scaling --workers 2 --rows 512 \
+        > dst.json
     python3 tools/check_bench_regression.py \
         --baseline bench/baselines/ci_baseline.json \
-        --engine eng.json --serving srv.json --overload ovl.json
+        --engine eng.json --serving srv.json --overload ovl.json \
+        --distributed dst.json
 """
 
 import argparse
@@ -103,7 +113,8 @@ def check_metric(metric, docs, default_tolerance):
               and metric["field"] in row]
     if not values:
         return (name, None, metric["baseline"], "fail",
-                "no rows matched %r" % (metric.get("where"),))
+                "no rows matched %r with field %r"
+                % (metric.get("where"), metric["field"]))
 
     current = aggregate(values, metric.get("aggregate", "max"))
     baseline = metric["baseline"]
@@ -131,6 +142,8 @@ def main():
                         help="serving_throughput JSON output")
     parser.add_argument("--overload",
                         help="overload_fairness JSON output")
+    parser.add_argument("--distributed",
+                        help="distributed_scaling JSON output")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="override the baseline's tolerance")
     args = parser.parse_args()
@@ -146,11 +159,21 @@ def main():
         docs["serving"] = load_json(args.serving)
     if args.overload:
         docs["overload"] = load_json(args.overload)
+    if args.distributed:
+        docs["distributed"] = load_json(args.distributed)
 
     failures = 0
     for metric in baseline["metrics"]:
-        name, current, base, status, detail = check_metric(
-            metric, docs, default_tolerance)
+        name = metric.get("name", "<unnamed metric>")
+        try:
+            name, current, base, status, detail = check_metric(
+                metric, docs, default_tolerance)
+        except (KeyError, TypeError, ValueError) as err:
+            # A baseline/run shape mismatch (metric gated but not
+            # emitted, or vice versa a malformed baseline entry) is
+            # a gate failure, not a crash.
+            status = "fail"
+            detail = "could not evaluate metric: %s" % err
         marker = {"ok": "OK  ", "fail": "FAIL", "skip": "SKIP"}[status]
         print("%s %-48s %s" % (marker, name, detail))
         if status == "fail":

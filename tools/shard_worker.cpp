@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shard worker process of the distributed serving tier.
+ *
+ * Usage: shard_worker <socket-path> [name]
+ *
+ * Listens on an AF_UNIX socket and serves one coordinator
+ * connection at a time with the library's ShardWorker loop —
+ * binding shards, answering queries, echoing heartbeats. A peer
+ * that disconnects (or a poisoned stream) sends the worker back to
+ * accept(); an explicit Shutdown frame exits the process. All
+ * bound shards die with the connection's process state only when
+ * the process does — which is exactly what the coordinator's
+ * kill-recovery tests exercise with SIGKILL.
+ */
+
+#include <cstdio>
+
+#include "net/transport.hpp"
+#include "serving/remote_worker.hpp"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr,
+                     "usage: %s <socket-path> [name]\n", argv[0]);
+        return 2;
+    }
+    const std::string path = argv[1];
+    const std::string name = argc == 3 ? argv[2] : "shard-worker";
+
+    a3::UnixServerSocket server;
+    a3::NetStatus status = server.listenOn(path);
+    if (!status.ok()) {
+        std::fprintf(stderr, "%s: cannot listen on %s: %s\n",
+                     name.c_str(), path.c_str(),
+                     status.str().c_str());
+        return 1;
+    }
+
+    a3::ShardWorker worker(name);
+    while (true) {
+        auto transport = server.accept(-1.0, status);
+        if (transport == nullptr) {
+            std::fprintf(stderr, "%s: accept failed: %s\n",
+                         name.c_str(), status.str().c_str());
+            return 1;
+        }
+        status = worker.serve(*transport);
+        if (status.ok())
+            return 0;  // orderly Shutdown frame
+        // Peer gone or stream poisoned: await the next
+        // coordinator connection.
+    }
+}
