@@ -21,6 +21,17 @@
  *    policy's queue depth by construction.
  *  - queue-wait p50/p95/p99 and drain-service p95 from the
  *    scheduler's latency reservoirs.
+ *  - deadline_hit_rate: every submit carries a 0.75 s deadline, and
+ *    the hit rate is ok / (ok + expired) over the completions. The
+ *    synchronous submit/drain rounds keep queue waits far below the
+ *    budget, so the expected rate is exactly 1.0 even at 4x — a
+ *    regression here means requests started blowing their deadline
+ *    budget inside a single round.
+ *
+ * A second "adaptive" section re-runs the 4x point with
+ * targetLatencySeconds set, reporting whether the adaptive queue
+ * depth engaged (derived from target / observed p95 service time
+ * after the first drain) and the typed rejection counts it produced.
  *
  * Usage: overload_fairness [out.csv] [--rounds N] [--max-batch B]
  *                          [--rows N]
@@ -82,7 +93,14 @@ struct OverloadRow
     double queueWaitP95 = 0.0;
     double queueWaitP99 = 0.0;
     double drainServiceP95 = 0.0;
+    std::uint64_t deadlineShed = 0;
+    double deadlineHitRate = 0.0;
 };
+
+/** Deadline every benchmark submit carries (seconds). Generous
+ *  against the synchronous rounds' queue waits by ~two orders of
+ *  magnitude, so the expected hit rate is exactly 1.0. */
+constexpr double kDeadlineSeconds = 0.75;
 
 OverloadRow
 measureOverload(AttentionEngine &engine, double multiplier,
@@ -146,7 +164,10 @@ measureOverload(AttentionEngine &engine, double multiplier,
                 --remaining[s];
                 exhausted = false;
                 ++row.offered;
-                if (scheduler.submit(ids[s], query).admitted())
+                SubmitOptions options;
+                options.deadlineSeconds = kDeadlineSeconds;
+                if (scheduler.submit(ids[s], query, options)
+                        .admitted())
                     ++row.admitted;
             }
         }
@@ -154,6 +175,13 @@ measureOverload(AttentionEngine &engine, double multiplier,
         if (scheduler.pending() > policy.maxQueueDepth)
             fatal("queue depth bound violated");
         for (const ServingResult &done : scheduler.drain()) {
+            if (!done.ok()) {
+                if (done.error != ServingError::DeadlineExpired)
+                    fatal("unexpected serving error: ",
+                          servingErrorName(done.error));
+                ++row.deadlineShed;
+                continue;
+            }
             ++answeredOf[done.session];
             ++row.answered;
         }
@@ -194,6 +222,81 @@ measureOverload(AttentionEngine &engine, double multiplier,
     row.queueWaitP95 = stats.queueWaitP95;
     row.queueWaitP99 = stats.queueWaitP99;
     row.drainServiceP95 = stats.drainServiceP95;
+    const std::uint64_t decided = row.answered + row.deadlineShed;
+    row.deadlineHitRate =
+        decided > 0 ? static_cast<double>(row.answered) /
+                          static_cast<double>(decided)
+                    : 1.0;
+    return row;
+}
+
+struct AdaptiveRow
+{
+    double offeredMultiplier = 0.0;
+    double targetLatencySeconds = 0.0;
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejectedAdaptive = 0;
+    std::uint64_t answered = 0;
+    std::size_t adaptiveQueueDepth = 0;
+    int adaptiveEngaged = 0;
+    double requestServiceP95 = 0.0;
+};
+
+/**
+ * Re-run the overload point with the adaptive queue-depth bound
+ * armed. The depth itself is machine-speed-dependent (target / p95),
+ * so the CI gate rides on adaptive_engaged — whether drains landed a
+ * service signal and derived a bound at all — not on its value.
+ */
+AdaptiveRow
+measureAdaptive(AttentionEngine &engine, double multiplier,
+                std::size_t rounds, std::size_t maxBatch,
+                std::size_t rows, std::size_t d)
+{
+    const std::size_t sessions = 4;
+    Rng rng(bench::benchSeed + 11);
+    EngineConfig config;
+    config.kind = EngineKind::ApproxFloat;
+    SessionCache cache;
+    std::vector<std::string> ids;
+    for (std::size_t s = 0; s < sessions; ++s) {
+        ids.push_back("adaptive-" + std::to_string(s));
+        cache.bind(ids.back(), config, randomMatrix(rng, rows, d),
+                   randomMatrix(rng, rows, d));
+    }
+
+    AdmissionPolicy policy;
+    policy.maxQueueDepth = 4 * maxBatch;
+    policy.targetLatencySeconds = 0.05;
+    BatchScheduler scheduler(engine, cache, maxBatch, policy);
+
+    AdaptiveRow row;
+    row.offeredMultiplier = multiplier;
+    row.targetLatencySeconds = policy.targetLatencySeconds;
+    const std::size_t offeredPerRound = std::max<std::size_t>(
+        sessions, static_cast<std::size_t>(
+                      multiplier * static_cast<double>(maxBatch)));
+    Vector query(d);
+    for (auto &x : query)
+        x = static_cast<float>(rng.normal());
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::size_t i = 0; i < offeredPerRound; ++i) {
+            ++row.offered;
+            if (scheduler.submit(ids[i % sessions], query)
+                    .admitted())
+                ++row.admitted;
+        }
+        for (const ServingResult &done : scheduler.drain()) {
+            if (done.ok())
+                ++row.answered;
+        }
+    }
+    const BatchSchedulerStats stats = scheduler.stats();
+    row.rejectedAdaptive = stats.rejectedAdaptiveDepth;
+    row.adaptiveQueueDepth = stats.adaptiveQueueDepth;
+    row.adaptiveEngaged = stats.adaptiveQueueDepth > 0 ? 1 : 0;
+    row.requestServiceP95 = stats.requestServiceP95;
     return row;
 }
 
@@ -236,6 +339,8 @@ main(int argc, char **argv)
         table.push_back(measureOverload(engine, multiplier, rounds,
                                         maxBatch, rows, d));
     }
+    const AdaptiveRow adaptive =
+        measureAdaptive(engine, 4.0, rounds, maxBatch, rows, d);
 
     std::printf("{\n  \"overload\": [\n");
     for (std::size_t i = 0; i < table.size(); ++i) {
@@ -251,7 +356,9 @@ main(int argc, char **argv)
             "\"queue_wait_p50_seconds\": %.3e, "
             "\"queue_wait_p95_seconds\": %.3e, "
             "\"queue_wait_p99_seconds\": %.3e, "
-            "\"drain_service_p95_seconds\": %.3e}%s\n",
+            "\"drain_service_p95_seconds\": %.3e, "
+            "\"deadline_seconds\": %.2f, \"deadline_shed\": %llu, "
+            "\"deadline_hit_rate\": %.4f}%s\n",
             r.offeredMultiplier, r.regime, r.rounds, r.maxBatch,
             r.queueDepth, static_cast<unsigned long long>(r.offered),
             static_cast<unsigned long long>(r.admitted),
@@ -259,8 +366,25 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(r.answered), r.maxPending,
             r.fairShareMin, r.fairShareMax, r.starvationRatio,
             r.queueWaitP50, r.queueWaitP95, r.queueWaitP99,
-            r.drainServiceP95, i + 1 < table.size() ? "," : "");
+            r.drainServiceP95, kDeadlineSeconds,
+            static_cast<unsigned long long>(r.deadlineShed),
+            r.deadlineHitRate, i + 1 < table.size() ? "," : "");
     }
+    std::printf("  ],\n  \"adaptive\": [\n");
+    std::printf(
+        "    {\"offered_multiplier\": %.1f, "
+        "\"target_latency_seconds\": %.3f, \"offered\": %llu, "
+        "\"admitted\": %llu, \"rejected_adaptive\": %llu, "
+        "\"answered\": %llu, \"adaptive_engaged\": %d, "
+        "\"adaptive_queue_depth\": %zu, "
+        "\"request_service_p95_seconds\": %.3e}\n",
+        adaptive.offeredMultiplier, adaptive.targetLatencySeconds,
+        static_cast<unsigned long long>(adaptive.offered),
+        static_cast<unsigned long long>(adaptive.admitted),
+        static_cast<unsigned long long>(adaptive.rejectedAdaptive),
+        static_cast<unsigned long long>(adaptive.answered),
+        adaptive.adaptiveEngaged, adaptive.adaptiveQueueDepth,
+        adaptive.requestServiceP95);
     std::printf("  ]\n}\n");
 
     if (!csvPath.empty()) {
@@ -268,7 +392,8 @@ main(int argc, char **argv)
         csv.writeRow({"offered_multiplier", "offered", "admitted",
                       "rejected", "shed_rate", "answered",
                       "max_pending", "fair_share_min",
-                      "starvation_ratio", "queue_wait_p99_seconds"});
+                      "starvation_ratio", "queue_wait_p99_seconds",
+                      "deadline_hit_rate"});
         for (const OverloadRow &r : table) {
             csv.writeRow({std::to_string(r.offeredMultiplier),
                           std::to_string(r.offered),
@@ -279,7 +404,8 @@ main(int argc, char **argv)
                           std::to_string(r.maxPending),
                           std::to_string(r.fairShareMin),
                           std::to_string(r.starvationRatio),
-                          std::to_string(r.queueWaitP99)});
+                          std::to_string(r.queueWaitP99),
+                          std::to_string(r.deadlineHitRate)});
         }
     }
     return 0;

@@ -4,9 +4,11 @@
  *
  *  - "rows_per_shard_sweep": fixed total rows, sweeping the shard
  *    capacity (so the shard count falls as capacity grows), with
- *    serial and pool-parallel fan-out queries/sec, the parallel-vs-
- *    serial speedup, and the max absolute output difference against
- *    the unsharded reference backend (the ULP-bound evidence).
+ *    serial and engine-flattened fan-out queries/sec (the engine
+ *    decomposes each query into per-shard work units and runs the
+ *    whole batch on one work list), the parallel-vs-serial speedup,
+ *    and the max absolute output difference against the unsharded
+ *    reference backend (the ULP-bound evidence).
  *  - "shard_count_sweep": fixed total rows, sweeping the shard count
  *    directly (capacity = ceil(rows / shards)), same columns — the
  *    per-shard scaling figure for huge contexts.
@@ -26,7 +28,7 @@
 
 #include "attention/backend.hpp"
 #include "bench_common.hpp"
-#include "engine/thread_pool.hpp"
+#include "engine/engine.hpp"
 #include "serving/sharded_backend.hpp"
 #include "tensor/matrix.hpp"
 #include "util/csv.hpp"
@@ -65,7 +67,8 @@ struct ShardedRow
     std::size_t shards = 0;
     double serialQps = 0.0;
     double parallelQps = 0.0;
-    /** parallel / serial: what the pooled fan-out buys. */
+    /** parallel / serial: what the engine's flattened (query,
+     *  shard) work list buys over one-thread fan-out. */
     double speedupParallelVsSerial = 0.0;
     /** max |sharded - unsharded| over the probe outputs. */
     double maxAbsDiffVsUnsharded = 0.0;
@@ -88,9 +91,31 @@ measureQps(const AttentionBackend &backend,
     return static_cast<double>(queries.size()) / seconds.min();
 }
 
+/**
+ * Engine-flattened throughput: the batch is decomposed into (query,
+ * shard) work units and fanned out over the engine's lanes — the
+ * serving tier's execution shape.
+ */
+double
+measureEngineQps(const AttentionEngine &engine,
+                 const AttentionBackend &backend,
+                 const std::vector<Vector> &queries,
+                 std::size_t repeats)
+{
+    std::vector<AttentionResult> out;
+    engine.runInto(backend, queries, out);  // warm-up
+    RunningStat seconds;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double start = now();
+        engine.runInto(backend, queries, out);
+        seconds.add(now() - start);
+    }
+    return static_cast<double>(queries.size()) / seconds.min();
+}
+
 ShardedRow
 measureSharding(const Matrix &key, const Matrix &value,
-                std::size_t shardRows, const ThreadPool &pool,
+                std::size_t shardRows, const AttentionEngine &engine,
                 const AttentionBackend &unsharded,
                 const std::vector<Vector> &queries,
                 std::size_t repeats)
@@ -102,17 +127,14 @@ measureSharding(const Matrix &key, const Matrix &value,
     serialConfig.shardRows = shardRows;
     const ShardedBackend serial(config, key, value, serialConfig);
 
-    ShardedConfig parallelConfig = serialConfig;
-    parallelConfig.pool = &pool;
-    const ShardedBackend parallel(config, key, value, parallelConfig);
-
     ShardedRow row;
     row.rows = key.rows();
     row.dims = key.cols();
     row.shardRows = shardRows;
     row.shards = serial.shardCount();
     row.serialQps = measureQps(serial, queries, repeats);
-    row.parallelQps = measureQps(parallel, queries, repeats);
+    row.parallelQps =
+        measureEngineQps(engine, serial, queries, repeats);
     row.speedupParallelVsSerial =
         row.serialQps > 0.0 ? row.parallelQps / row.serialQps : 0.0;
     row.repeats = repeats;
@@ -190,7 +212,7 @@ main(int argc, char **argv)
 
     const std::size_t lanes = std::max<std::size_t>(
         2, std::thread::hardware_concurrency());
-    ThreadPool pool(lanes);
+    AttentionEngine engine(lanes);
 
     std::vector<Vector> queries(8);
     for (auto &q : queries) {
@@ -204,7 +226,7 @@ main(int argc, char **argv)
     for (std::size_t shardRows = totalRows; shardRows >= totalRows / 16;
          shardRows /= 4) {
         capacityRows.push_back(measureSharding(key, value, shardRows,
-                                               pool, unsharded,
+                                               engine, unsharded,
                                                queries, repeats));
     }
 
@@ -216,8 +238,8 @@ main(int argc, char **argv)
         const std::size_t shardRows =
             (totalRows + shards - 1) / shards;
         countRows.push_back(measureSharding(key, value, shardRows,
-                                            pool, unsharded, queries,
-                                            repeats));
+                                            engine, unsharded,
+                                            queries, repeats));
     }
 
     std::printf("{\n");

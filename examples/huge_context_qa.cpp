@@ -8,9 +8,10 @@
  *
  * A user loads a context of 100k+ rows — far past the n ~ 10^2..10^3
  * tasks the paper's accelerator binds — so the serving tier shards
- * it: row-contiguous slices each bind an inner backend, queries fan
- * out across the shards on a thread pool, and the per-shard softmax
- * partials merge with the numerically stable log-sum-exp combine.
+ * it: row-contiguous slices each bind an inner backend, the engine
+ * flattens each query into per-shard work units on its lanes, and
+ * the per-shard softmax partials merge with the numerically stable
+ * log-sum-exp combine.
  * The sharded session then rides the ordinary serving tier: cached
  * by byte size, coalesced by the scheduler, and extended mid-stream
  * through append(), which fills the last shard before opening a new
@@ -22,7 +23,6 @@
 
 #include "attention/backend.hpp"
 #include "engine/engine.hpp"
-#include "engine/thread_pool.hpp"
 #include "serving/batch_scheduler.hpp"
 #include "serving/session_cache.hpp"
 #include "serving/sharded_backend.hpp"
@@ -51,16 +51,15 @@ main()
         return q;
     };
 
-    // 1. Build the huge context and shard it: 16k-row shards, the
-    //    per-shard partial passes fanned out on a pool.
+    // 1. Build the huge context and shard it: 16k-row shards. The
+    //    serving engine flattens the per-shard partial passes of
+    //    every drained batch into one work list — no pool to plumb.
     const Matrix key = randomMatrix(n, d);
     const Matrix value = randomMatrix(n, d);
-    ThreadPool pool;
     EngineConfig config;
     config.kind = EngineKind::ExactFloat;
     ShardedConfig sharding;
     sharding.shardRows = 16384;
-    sharding.pool = &pool;
 
     AttentionEngine engine;
     SessionCache cache(256u << 20);

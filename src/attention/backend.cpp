@@ -83,6 +83,26 @@ AttentionBackend::runPartialInto(const Vector &query,
     out.expSum = expSum;
 }
 
+void
+AttentionBackend::runUnitPartialInto(std::size_t unit,
+                                     const Vector &query,
+                                     PartialResult &out) const
+{
+    a3Assert(unit == 0, "single-unit backend asked for unit ", unit);
+    runPartialInto(query, out);
+}
+
+void
+AttentionBackend::mergeUnitsInto(
+    const std::vector<PartialResult> &partials,
+    AttentionResult &out) const
+{
+    a3Assert(partials.size() == 1,
+             "single-unit backend asked to merge ", partials.size(),
+             " partials");
+    finalizePartialInto(partials.front(), out);
+}
+
 ReferenceAttention::ReferenceAttention(Matrix key, Matrix value)
     : key_(std::move(key)), value_(std::move(value))
 {

@@ -29,6 +29,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "attention/config.hpp"
 #include "attention/types.hpp"
@@ -94,6 +95,41 @@ class AttentionBackend
      */
     virtual void runPartialInto(const Vector &query,
                                 PartialResult &out) const;
+
+    /**
+     * Number of independent work units one query against this
+     * backend decomposes into — the flattened engine's scheduling
+     * grain. A plain backend is one unit; a sharded backend exposes
+     * one unit per shard, so shard partials from many queries share
+     * the same pool lanes instead of borrowing a nested pool.
+     * Constant between append() calls.
+     */
+    virtual std::size_t workUnitCount() const { return 1; }
+
+    /**
+     * Compute work unit `unit` of one query: the unit's softmax
+     * partial, ready for mergeUnitsInto(). Like runInto() this is
+     * const, thread-compatible, and reuses `out`'s buffers; distinct
+     * units of one query may run on different threads concurrently.
+     * The base implementation serves single-unit backends by
+     * forwarding to runPartialInto().
+     */
+    virtual void runUnitPartialInto(std::size_t unit,
+                                    const Vector &query,
+                                    PartialResult &out) const;
+
+    /**
+     * Combine one query's per-unit partials (partials[u] from
+     * runUnitPartialInto(u, ...)) into the final result. Always
+     * executed serially in unit order by exactly one thread, so a
+     * fixed-order log-sum-exp merge here preserves the bit-identity
+     * guarantees of the serial path. The engine only takes this
+     * route when workUnitCount() > 1 — single-unit backends keep
+     * their exact runInto() path (required for the quantized kinds,
+     * whose partial roundtrip is ULP-bounded, not bit-tight).
+     */
+    virtual void mergeUnitsInto(const std::vector<PartialResult> &partials,
+                                AttentionResult &out) const;
 
     /**
      * Extend the bound task with k additional key/value rows (a

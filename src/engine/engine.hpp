@@ -91,14 +91,19 @@ class AttentionEngine
 
     /**
      * Answer several request groups (multi-head or multi-sequence):
-     * all (group, query) pairs are flattened into one work list so
-     * small groups cannot strand lanes. The list interleaves the
-     * groups round-robin — query q of every group before query q+1 of
-     * any — so one huge group cannot monopolize the first lanes and
-     * small groups complete early (the batch-formation order the
-     * serving tier's fairness rides on). Each query still executes
-     * the sequential code path and writes only its own slot, so
-     * result[g][i] is bit-identical to groups[g].backend->
+     * every (group, query) pair is decomposed into its backend's
+     * work units (AttentionBackend::workUnitCount() — one per shard
+     * for a sharded backend, one total for a plain one) and all the
+     * units are flattened into one work list, so small groups cannot
+     * strand lanes and shard partials from many queries share the
+     * same lanes with no nested pool. The list interleaves the
+     * groups round-robin — query q of every group before query q+1
+     * of any — so one huge group cannot monopolize the first lanes
+     * and small groups complete early (the batch-formation order the
+     * serving tier's fairness rides on). Single-unit queries execute
+     * the sequential runInto() path and multi-unit queries merge
+     * their partials serially in fixed unit order, so result[g][i]
+     * is bit-identical to groups[g].backend->
      * run(groups[g].queries[i]) regardless of the interleave.
      */
     std::vector<std::vector<AttentionResult>>

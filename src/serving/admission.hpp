@@ -25,8 +25,9 @@
 namespace a3 {
 
 /**
- * Load-shedding limits evaluated by BatchScheduler::submit(). Every
- * limit is 0-disabled, so the default policy admits everything — the
+ * Load-shedding limits evaluated by BatchScheduler::submit() (and,
+ * for deadlines, re-checked at drain time). Every limit is
+ * 0-disabled, so the default policy admits everything — the
  * pre-admission behavior.
  */
 struct AdmissionPolicy
@@ -56,9 +57,32 @@ struct AdmissionPolicy
      * is never evicted. 0 = unbounded.
      */
     std::size_t maxQueuedCostBytes = 0;
+
+    /**
+     * Target request latency driving the adaptive queue-depth bound:
+     * when set, the scheduler derives its effective depth as
+     * target-latency / observed-p95-per-request-service-time
+     * (clamped below by minAdaptiveQueueDepth) and sheds submits
+     * beyond it with RejectedAdaptiveDepth — a queue deeper than
+     * that cannot meet the target no matter how it is ordered. The
+     * signal is the scheduler's per-request service reservoir; until
+     * enough drains have landed samples, the adaptive bound is
+     * inactive and only the static maxQueueDepth applies.
+     * 0 = disabled.
+     */
+    double targetLatencySeconds = 0.0;
+
+    /**
+     * Floor of the adaptive depth, so a service-time spike cannot
+     * shed every submit: the derived depth never falls below this
+     * many requests. Only consulted when targetLatencySeconds is
+     * set.
+     */
+    std::size_t minAdaptiveQueueDepth = 1;
 };
 
-/** Why a submit() was admitted or shed. */
+/** Why a submit() was admitted or shed (or, for the deadline
+ *  decisions, why a queued request was shed later). */
 enum class AdmissionDecision : std::uint8_t {
     Admitted,
     /** Queue already holds maxQueueDepth requests. */
@@ -67,6 +91,18 @@ enum class AdmissionDecision : std::uint8_t {
     RejectedSessionCap,
     /** Estimated cost would overflow maxQueuedCostBytes. */
     RejectedCostBudget,
+    /** Queue already at the adaptive depth derived from
+     *  targetLatencySeconds / observed-p95 service time. */
+    RejectedAdaptiveDepth,
+    /** The request's own deadline cannot be met even if it were
+     *  claimed next (queued work ahead of it × p95 service time
+     *  already exceeds the budget). */
+    RejectedDeadlineUnmeetable,
+    /** Shed at drain time: the request's queue wait had already
+     *  blown its deadline when a drain claimed it. Reported through
+     *  ServingError::DeadlineExpired on the completion, never
+     *  through submit(). */
+    ShedDeadlineExpired,
 };
 
 /** Stable lowercase name of a decision, for logs and bench JSON. */
@@ -82,6 +118,12 @@ admissionDecisionName(AdmissionDecision decision)
         return "rejected_session_cap";
     case AdmissionDecision::RejectedCostBudget:
         return "rejected_cost_budget";
+    case AdmissionDecision::RejectedAdaptiveDepth:
+        return "rejected_adaptive_depth";
+    case AdmissionDecision::RejectedDeadlineUnmeetable:
+        return "rejected_deadline_unmeetable";
+    case AdmissionDecision::ShedDeadlineExpired:
+        return "shed_deadline_expired";
     }
     return "unknown";
 }

@@ -31,6 +31,8 @@ servingErrorName(ServingError error)
         return "none";
     case ServingError::SessionUnbound:
         return "session_unbound";
+    case ServingError::DeadlineExpired:
+        return "deadline_expired";
     }
     return "unknown";
 }
@@ -47,6 +49,13 @@ BatchScheduler::BatchScheduler(AttentionEngine &engine,
 AdmissionOutcome
 BatchScheduler::submit(const std::string &session, Vector query)
 {
+    return submit(session, std::move(query), SubmitOptions{});
+}
+
+AdmissionOutcome
+BatchScheduler::submit(const std::string &session, Vector query,
+                       const SubmitOptions &options)
+{
     // Estimated cost before taking the scheduler lock: peekBytes
     // holds only the cache's own lock, touches neither LRU order nor
     // hit/miss counters, and reads 0 for an unbound session.
@@ -62,12 +71,21 @@ BatchScheduler::submit(const std::string &session, Vector query)
         ++counters_.rejectedQueueFull;
         return {AdmissionDecision::RejectedQueueFull, 0};
     }
+    // The adaptive bound: a queue deeper than target-latency / p95
+    // service time cannot meet the target however it is ordered.
+    // adaptiveDepth_ stays 0 (inactive) until drains have landed
+    // service samples, so a cold scheduler admits everything.
+    if (policy_.targetLatencySeconds > 0.0 && adaptiveDepth_ != 0 &&
+        pendingCount_ >= adaptiveDepth_) {
+        ++counters_.rejectedAdaptiveDepth;
+        return {AdmissionDecision::RejectedAdaptiveDepth, 0};
+    }
     // Look up without inserting: a shed submit must not leave a
     // session entry behind (state is only materialized on admission,
     // and drain() reclaims it once the session idles again).
     auto it = sessions_.find(session);
     if (policy_.maxPendingPerSession != 0 && it != sessions_.end() &&
-        it->second.pending.size() >= policy_.maxPendingPerSession) {
+        it->second.pendingTotal >= policy_.maxPendingPerSession) {
         ++counters_.rejectedSessionCap;
         return {AdmissionDecision::RejectedSessionCap, 0};
     }
@@ -79,15 +97,39 @@ BatchScheduler::submit(const std::string &session, Vector query)
         ++counters_.rejectedCostBudget;
         return {AdmissionDecision::RejectedCostBudget, 0};
     }
+    // A deadline the queue already makes unmeetable is shed now, not
+    // after it has waited its budget out: the requests ahead of it
+    // alone are expected to take pendingCount_ × p95 service time.
+    // Never rejects into an empty queue, and inactive until the
+    // service reservoir has samples.
+    if (options.deadlineSeconds > 0.0 && serviceP95_ > 0.0 &&
+        pendingCount_ > 0 &&
+        static_cast<double>(pendingCount_) * serviceP95_ >
+            options.deadlineSeconds) {
+        ++counters_.rejectedDeadlineUnmeetable;
+        return {AdmissionDecision::RejectedDeadlineUnmeetable, 0};
+    }
 
     if (it == sessions_.end())
         it = sessions_.emplace(session, SessionState{}).first;
     SessionState &state = it->second;
+    ClassLane *lane = nullptr;
+    for (ClassLane &candidate : state.lanes) {
+        if (candidate.klass == options.requestClass) {
+            lane = &candidate;
+            break;
+        }
+    }
+    if (lane == nullptr) {
+        state.lanes.push_back(ClassLane{options.requestClass, {}, 0});
+        lane = &state.lanes.back();
+    }
     const std::uint64_t ticket = nextTicket_++;
-    if (state.pending.empty())
+    if (state.pendingTotal == 0)
         activeOrder_.push_back(session);
-    state.pending.push_back(
-        {ticket, std::move(query), submitSeconds, cost});
+    lane->pending.push_back({ticket, std::move(query), submitSeconds,
+                             cost, options.deadlineSeconds});
+    ++state.pendingTotal;
     ++pendingCount_;
     queuedCostBytes_ += cost;
     return {AdmissionDecision::Admitted, ticket};
@@ -109,8 +151,41 @@ BatchScheduler::setSessionWeight(const std::string &session,
         return;
     }
     it->second.weight = weight;
-    if (weight == 1 && it->second.pending.empty())
+    if (weight == 1 && it->second.pendingTotal == 0)
         sessions_.erase(it);
+}
+
+void
+BatchScheduler::setClassWeight(const std::string &klass,
+                               std::size_t weight)
+{
+    a3Assert(weight > 0, "class weight must be positive");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (weight == 1)
+        classWeights_.erase(klass);
+    else
+        classWeights_[klass] = weight;
+}
+
+std::size_t
+BatchScheduler::classWeightLocked(const std::string &klass) const
+{
+    const auto it = classWeights_.find(klass);
+    return it == classWeights_.end() ? 1 : it->second;
+}
+
+std::size_t
+BatchScheduler::classWeight(const std::string &klass) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return classWeightLocked(klass);
+}
+
+std::size_t
+BatchScheduler::adaptiveQueueDepth() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return adaptiveDepth_;
 }
 
 std::size_t
@@ -132,6 +207,8 @@ BatchScheduler::stats() const
     static constexpr double kFractions[3] = {0.50, 0.95, 0.99};
     std::unique_lock<std::mutex> lock(mutex_);
     BatchSchedulerStats out = counters_;
+    out.adaptiveQueueDepth = adaptiveDepth_;
+    out.requestServiceP95 = serviceP95_;
     const LatencyReservoir waitWindow = queueWait_;
     const LatencyReservoir drainWindow = drainService_;
     const LatencyReservoir groupWindow = groupService_;
@@ -162,6 +239,10 @@ BatchScheduler::resetCounters()
     queueWait_.clear();
     drainService_.clear();
     groupService_.clear();
+    // requestService_ / adaptiveDepth_ / serviceP95_ survive on
+    // purpose: they are the admission signal, not a usage counter —
+    // clearing them on a bench's post-warm-up reset would blind the
+    // adaptive bound exactly when it has just been learned.
 }
 
 std::size_t
@@ -176,7 +257,7 @@ BatchScheduler::pendingFor(const std::string &session) const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = sessions_.find(session);
-    return it == sessions_.end() ? 0 : it->second.pending.size();
+    return it == sessions_.end() ? 0 : it->second.pendingTotal;
 }
 
 std::size_t
@@ -199,13 +280,18 @@ BatchScheduler::drain()
     const double claimSeconds = nowSeconds();
 
     // Claim this drain's share of the queue by weighted round-robin:
-    // each pass over the pending sessions hands every session up to
-    // its weight in slots, repeating until the batch is full or the
-    // queue empty, so a truncated drain interleaves sessions instead
-    // of answering the globally oldest tickets first. Within one
-    // session the FIFO preserves ticket order, and tickets are
-    // assigned under the same lock, so the per-session claim order is
-    // the per-session ticket order.
+    // each pass over the pending sessions hands every session's
+    // class lane up to session-weight × class-weight slots,
+    // repeating until the batch is full or the queue empty, so a
+    // truncated drain interleaves sessions instead of answering the
+    // globally oldest tickets first. Within one lane the FIFO
+    // preserves ticket order, and tickets are assigned under the
+    // same lock, so the per-lane claim order is the per-lane ticket
+    // order. A claimed request whose queue wait has already blown
+    // its deadline is shed here with a typed DeadlineExpired
+    // completion — it consumes no batch slot, so expired backlog
+    // cannot crowd live work out of the pass.
+    std::vector<ServingResult> completions;
     std::vector<PendingRequest> batch;
     std::vector<std::string> batchSession;
     {
@@ -223,32 +309,59 @@ BatchScheduler::drain()
         const std::size_t start = static_cast<std::size_t>(
             drainRounds_ % activeOrder_.size());
         ++drainRounds_;
-        while (batch.size() < take) {
+        // Sheds drop pendingCount_ below the precomputed take, so
+        // the loop also stops once the queue is empty.
+        while (batch.size() < take && pendingCount_ > 0) {
             bool progress = false;
             for (std::size_t i = 0;
-                 i < activeOrder_.size() && batch.size() < take; ++i) {
+                 i < activeOrder_.size() && batch.size() < take &&
+                 pendingCount_ > 0;
+                 ++i) {
                 const std::string &name =
                     activeOrder_[(start + i) % activeOrder_.size()];
                 SessionState &state = sessions_[name];
-                for (std::size_t slot = 0;
-                     slot < state.weight && !state.pending.empty() &&
-                     batch.size() < take;
-                     ++slot) {
-                    PendingRequest &request = state.pending.front();
-                    // The ordering guarantee across truncation
-                    // boundaries: a session's tickets leave the queue
-                    // strictly ascending, drain after drain.
-                    a3Assert(request.ticket > state.lastClaimedTicket,
-                             "session \"", name,
-                             "\" would be answered out of ticket "
-                             "order");
-                    state.lastClaimedTicket = request.ticket;
-                    queuedCostBytes_ -= request.costBytes;
-                    batchSession.push_back(name);
-                    batch.push_back(std::move(request));
-                    state.pending.pop_front();
-                    --pendingCount_;
-                    progress = true;
+                for (ClassLane &lane : state.lanes) {
+                    const std::size_t slots =
+                        state.weight * classWeightLocked(lane.klass);
+                    std::size_t claimed = 0;
+                    while (claimed < slots &&
+                           !lane.pending.empty() &&
+                           batch.size() < take) {
+                        PendingRequest &request =
+                            lane.pending.front();
+                        // The ordering guarantee across truncation
+                        // boundaries: a lane's tickets leave the
+                        // queue strictly ascending, drain after
+                        // drain.
+                        a3Assert(
+                            request.ticket > lane.lastClaimedTicket,
+                            "session \"", name,
+                            "\" would be answered out of ticket "
+                            "order");
+                        lane.lastClaimedTicket = request.ticket;
+                        queuedCostBytes_ -= request.costBytes;
+                        --state.pendingTotal;
+                        --pendingCount_;
+                        progress = true;
+                        const double wait =
+                            claimSeconds - request.submitSeconds;
+                        if (request.deadlineSeconds > 0.0 &&
+                            wait > request.deadlineSeconds) {
+                            ++counters_.shedDeadlineExpired;
+                            queueWait_.add(std::max(0.0, wait));
+                            completions.push_back(
+                                {request.ticket, name, {},
+                                 ServingError::DeadlineExpired});
+                            lane.pending.pop_front();
+                            continue;  // no batch slot consumed
+                        }
+                        batchSession.push_back(name);
+                        batch.push_back(std::move(request));
+                        lane.pending.pop_front();
+                        ++claimed;
+                    }
+                    if (batch.size() >= take)
+                        break;
                 }
             }
             a3Assert(progress,
@@ -261,13 +374,13 @@ BatchScheduler::drain()
         // session ids per conversation does not grow sessions_
         // without bound. Tickets are globally monotonic, so a
         // re-materialized entry (lastClaimedTicket back at 0) still
-        // satisfies the per-session ordering assert.
+        // satisfies the per-lane ordering assert.
         activeOrder_.erase(
             std::remove_if(activeOrder_.begin(), activeOrder_.end(),
                            [this](const std::string &name) {
                                const auto entry =
                                    sessions_.find(name);
-                               if (!entry->second.pending.empty())
+                               if (entry->second.pendingTotal != 0)
                                    return false;
                                if (entry->second.weight == 1)
                                    sessions_.erase(entry);
@@ -286,8 +399,7 @@ BatchScheduler::drain()
     // error instead of aborting the server.
     constexpr std::size_t kUnbound =
         std::numeric_limits<std::size_t>::max();
-    std::vector<ServingResult> completions;
-    completions.reserve(batch.size());
+    completions.reserve(completions.size() + batch.size());
     std::vector<AttentionRequestGroup> groups;
     std::vector<std::shared_ptr<AttentionBackend>> pinned;
     std::vector<std::string> sessionOf;
@@ -348,11 +460,23 @@ BatchScheduler::drain()
               [](const ServingResult &a, const ServingResult &b) {
                   return a.ticket < b.ticket;
               });
+    // Flattened work units this pass scheduled: each group's queries
+    // × its backend's decomposition (one per shard for a sharded
+    // session). Also the denominator-side signal for the adaptive
+    // depth: per-request service time, one sample per drain.
+    std::size_t passUnits = 0;
+    std::size_t executed = 0;
+    for (const AttentionRequestGroup &group : groups) {
+        passUnits +=
+            group.backend->workUnitCount() * group.queries.size();
+        executed += group.queries.size();
+    }
+
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        ++counters_.drains;
         counters_.answered += completions.size();
         counters_.groups += groups.size();
+        counters_.workUnits += passUnits;
         // Queue wait is measured submit-to-claim; a submit that raced
         // in between our clock read and the claim lock can look
         // sub-zero by the race window, so clamp at 0.
@@ -360,9 +484,24 @@ BatchScheduler::drain()
             queueWait_.add(std::max(
                 0.0, claimSeconds - request.submitSeconds));
         }
-        drainService_.add(passSeconds);
         for (const double seconds : groupSeconds)
             groupService_.add(seconds);
+        // A drain that shed its entire claim ran no engine pass;
+        // keep the service reservoirs clean of its ~0s sample.
+        if (executed > 0) {
+            ++counters_.drains;
+            drainService_.add(passSeconds);
+            requestService_.add(passSeconds /
+                                static_cast<double>(executed));
+            serviceP95_ = requestService_.percentile(0.95);
+            if (policy_.targetLatencySeconds > 0.0 &&
+                serviceP95_ > 0.0) {
+                adaptiveDepth_ = std::max(
+                    policy_.minAdaptiveQueueDepth,
+                    static_cast<std::size_t>(
+                        policy_.targetLatencySeconds / serviceP95_));
+            }
+        }
     }
     return completions;
 }

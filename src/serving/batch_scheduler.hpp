@@ -6,25 +6,36 @@
  * Clients submit (session, query) requests from any thread; each
  * admitted request gets a monotonically increasing ticket, and each
  * shed request gets a typed AdmissionOutcome naming the limit that
- * rejected it (queue depth, per-session cap, or estimated-cost
- * budget — see serving/admission.hpp). drain() forms its batch by
- * weighted round-robin over the sessions with pending work — each
- * pass hands every session up to its weight in slots — so one chatty
- * or sharded-huge session cannot starve the rest when maxBatch
- * truncates the drain. The claimed requests are coalesced into one
- * AttentionRequestGroup per session and driven through
- * AttentionEngine::runGroupsInto in one batched, multi-threaded pass.
+ * rejected it (queue depth, per-session cap, estimated-cost budget,
+ * adaptive depth, or an unmeetable deadline — see
+ * serving/admission.hpp). Requests may carry a per-request deadline
+ * and a request class (SubmitOptions): a claimed request whose queue
+ * wait already blew its deadline is shed at drain time with a typed
+ * ServingError::DeadlineExpired completion instead of being
+ * executed, and when AdmissionPolicy::targetLatencySeconds is set
+ * the effective queue depth adapts to target-latency /
+ * observed-p95-service-time (the per-request service reservoir is
+ * the signal). drain() forms its batch by weighted round-robin over
+ * the sessions with pending work — each pass hands every session's
+ * class lane up to session-weight × class-weight slots — so one
+ * chatty or sharded-huge session (or one low-priority class) cannot
+ * starve the rest when maxBatch truncates the drain. The claimed
+ * requests are coalesced into one AttentionRequestGroup per session
+ * and driven through AttentionEngine::runGroupsInto in one batched,
+ * multi-threaded pass that flattens every (query, shard) work unit
+ * onto the engine's lanes.
  *
  * Determinism guarantee: drain() returns results sorted by ticket,
- * requests within a session are always claimed in ticket order
- * across any sequence of truncated drains (asserted) — so drains
- * called from one thread, or sequentially, answer each session in
- * ticket order; concurrent drain() calls own disjoint claims and
+ * requests within a session's class lane are always claimed in
+ * ticket order across any sequence of truncated drains (asserted; a
+ * single-class workload reduces to per-session ticket order) — so
+ * drains called from one thread, or sequentially, answer each lane
+ * in ticket order; concurrent drain() calls own disjoint claims and
  * may return their batches in either order — and every answer is
  * bit-identical to a sequential backend.run(query) — the engine
  * guarantee — regardless of batch composition, weights, admission
- * policy, coalescing, cache hits, appends between drains, or the
- * engine's thread count.
+ * policy, deadlines, coalescing, cache hits, appends between
+ * drains, or the engine's thread count.
  *
  * Telemetry: per-request queue wait (submit to claim) and per-drain /
  * per-group service times are recorded into fixed-size
@@ -63,10 +74,42 @@ enum class ServingError
 
     /** The session was not bound in the cache at drain time. */
     SessionUnbound,
+
+    /** The request's queue wait exceeded its deadline before a
+     *  drain claimed it; shed unexecuted. */
+    DeadlineExpired,
 };
 
-/** Stable lowercase name ("none", "session_unbound"). */
+/** Stable lowercase name ("none", "session_unbound",
+ *  "deadline_expired"). */
 const char *servingErrorName(ServingError error);
+
+/**
+ * Per-request submit() knobs beyond the session and query. The
+ * defaults reproduce the plain submit(session, query) behavior: no
+ * deadline, default request class.
+ */
+struct SubmitOptions
+{
+    /**
+     * Latency budget in seconds from submit() to execution; 0 = no
+     * deadline. A queued request whose wait has already exceeded
+     * this when a drain claims it is shed with a
+     * ServingError::DeadlineExpired completion, and a submit whose
+     * deadline provably cannot be met (queued work ahead × observed
+     * p95 per-request service time already over budget) is rejected
+     * up front with RejectedDeadlineUnmeetable.
+     */
+    double deadlineSeconds = 0.0;
+
+    /**
+     * Request class for weighted scheduling: within one session,
+     * each distinct class gets its own FIFO lane, and a drain pass
+     * hands a lane up to session-weight × class-weight slots (see
+     * setClassWeight). The empty string is the default class.
+     */
+    std::string requestClass;
+};
 
 /** One completed request: its ticket, session, and answer. */
 struct ServingResult
@@ -112,12 +155,46 @@ struct BatchSchedulerStats
     /** Submits shed by the maxQueuedCostBytes budget. */
     std::uint64_t rejectedCostBudget = 0;
 
+    /** Submits shed by the adaptive queue-depth bound (derived from
+     *  targetLatencySeconds / observed p95 service time). */
+    std::uint64_t rejectedAdaptiveDepth = 0;
+
+    /** Submits shed because their own deadline was already
+     *  unmeetable given the queued work ahead of them. */
+    std::uint64_t rejectedDeadlineUnmeetable = 0;
+
+    /** Queued requests shed at drain time because their wait had
+     *  blown their deadline (ServingError::DeadlineExpired
+     *  completions). Not part of rejected(): these were admitted. */
+    std::uint64_t shedDeadlineExpired = 0;
+
+    /** Flattened (query, shard) work units executed across the
+     *  drains; workUnits / answered is the mean decomposition
+     *  factor the engine scheduled at. */
+    std::uint64_t workUnits = 0;
+
     /** Total shed submits; submitted - rejected() were admitted. */
     std::uint64_t rejected() const
     {
         return rejectedQueueFull + rejectedSessionCap +
-               rejectedCostBudget;
+               rejectedCostBudget + rejectedAdaptiveDepth +
+               rejectedDeadlineUnmeetable;
     }
+
+    /**
+     * Effective queue-depth bound at snapshot time: 0 while the
+     * adaptive bound is disabled or still unlearned, else
+     * max(minAdaptiveQueueDepth, targetLatencySeconds / p95). A
+     * signal, not a counter — resetCounters() leaves it (and the
+     * service reservoir feeding it) alone so a bench warm-up reset
+     * does not blind admission.
+     */
+    std::size_t adaptiveQueueDepth = 0;
+
+    /** Observed p95 of per-request service time (seconds), the
+     *  adaptive-depth and deadline-unmeetable signal; 0 until
+     *  enough drains have landed samples. */
+    double requestServiceP95 = 0.0;
 
     /** Seconds from submit() to the drain that claimed the request. */
     double queueWaitP50 = 0.0;
@@ -165,6 +242,15 @@ class BatchScheduler
     AdmissionOutcome submit(const std::string &session, Vector query);
 
     /**
+     * submit() with per-request options: a deadline (shed-on-expiry
+     * plus the up-front unmeetable check) and/or a request class
+     * (its own FIFO lane, weighted by setClassWeight). The
+     * default-constructed options reproduce the plain overload.
+     */
+    AdmissionOutcome submit(const std::string &session, Vector query,
+                            const SubmitOptions &options);
+
+    /**
      * Weighted-round-robin share of `session`: up to `weight`
      * requests per scheduling pass while other sessions wait (>= 1;
      * every session defaults to 1). Takes effect at the next drain();
@@ -175,6 +261,27 @@ class BatchScheduler
 
     /** Current weight of `session` (1 unless set). */
     std::size_t sessionWeight(const std::string &session) const;
+
+    /**
+     * Weighted share of one request class, across every session: a
+     * drain pass hands each session's lane for `klass` up to
+     * session-weight × class-weight slots (>= 1; every class
+     * defaults to 1, including the default empty-string class).
+     * Takes effect at the next drain().
+     */
+    void setClassWeight(const std::string &klass, std::size_t weight);
+
+    /** Current weight of request class `klass` (1 unless set). */
+    std::size_t classWeight(const std::string &klass) const;
+
+    /**
+     * Effective adaptive queue-depth bound: 0 while disabled
+     * (policy.targetLatencySeconds unset) or unlearned (no service
+     * samples yet), else max(minAdaptiveQueueDepth,
+     * targetLatencySeconds / observed-p95-service-time), re-derived
+     * after every drain.
+     */
+    std::size_t adaptiveQueueDepth() const;
 
     /** The admission policy evaluated by submit(). */
     const AdmissionPolicy &policy() const { return policy_; }
@@ -216,10 +323,13 @@ class BatchScheduler
     BatchSchedulerStats stats() const;
 
     /**
-     * Zero the usage counters and latency reservoirs; queued
-     * requests, session weights, and the ticket clock are untouched.
-     * Benches and the CI regression gate reset after warm-up so the
-     * reported numbers are steady-state.
+     * Zero the usage counters and latency reservoirs — including the
+     * deadline/adaptive shed counters; queued requests, session and
+     * class weights, the ticket clock, and the adaptive-depth signal
+     * (the per-request service reservoir and the derived bound) are
+     * untouched — the last so a bench warm-up reset does not blind
+     * admission. Benches and the CI regression gate reset after
+     * warm-up so the reported numbers are steady-state.
      */
     void resetCounters();
 
@@ -232,19 +342,32 @@ class BatchScheduler
         double submitSeconds = 0.0;
         /** Estimated cost charged against maxQueuedCostBytes. */
         std::size_t costBytes = 0;
+        /** Latency budget; 0 = none. */
+        double deadlineSeconds = 0.0;
     };
 
-    /** Per-session FIFO plus its scheduling state. */
-    struct SessionState
+    /** One request class's FIFO within a session. */
+    struct ClassLane
     {
+        std::string klass;
         std::deque<PendingRequest> pending;
-        std::size_t weight = 1;
         /**
          * Last ticket handed to a drain, persisted across drains to
-         * assert the per-session ordering guarantee over truncation
+         * assert the per-lane ordering guarantee over truncation
          * boundaries.
          */
         std::uint64_t lastClaimedTicket = 0;
+    };
+
+    /** Per-session class lanes plus scheduling state. */
+    struct SessionState
+    {
+        /** Lanes in first-use order; most sessions hold exactly one
+         *  (the default class). */
+        std::vector<ClassLane> lanes;
+        /** Pending requests across the lanes. */
+        std::size_t pendingTotal = 0;
+        std::size_t weight = 1;
     };
 
     /** Reservoir windows: large enough for stable p99s, small enough
@@ -252,6 +375,13 @@ class BatchScheduler
     static constexpr std::size_t kQueueWaitWindow = 4096;
     static constexpr std::size_t kDrainServiceWindow = 1024;
     static constexpr std::size_t kGroupServiceWindow = 4096;
+    /** Per-request service samples (one per drain) feeding the
+     *  adaptive depth; smaller than the wait window because one
+     *  sample summarizes a whole drain. */
+    static constexpr std::size_t kRequestServiceWindow = 512;
+
+    /** classWeight() without taking mutex_ (callers hold it). */
+    std::size_t classWeightLocked(const std::string &klass) const;
 
     AttentionEngine &engine_;
     SessionCache &cache_;
@@ -261,6 +391,8 @@ class BatchScheduler
     mutable std::mutex mutex_;
     std::uint64_t nextTicket_ = 1;
     std::unordered_map<std::string, SessionState> sessions_;
+    /** Per-class scheduling weights (absent = 1). */
+    std::unordered_map<std::string, std::size_t> classWeights_;
     /** Sessions with pending work, ordered by first-pending arrival;
      *  the weighted round-robin iterates this. */
     std::vector<std::string> activeOrder_;
@@ -269,10 +401,14 @@ class BatchScheduler
     std::uint64_t drainRounds_ = 0;
     std::size_t pendingCount_ = 0;
     std::size_t queuedCostBytes_ = 0;
+    /** Adaptive depth signal, persisted across resetCounters(). */
+    std::size_t adaptiveDepth_ = 0;
+    double serviceP95_ = 0.0;
     BatchSchedulerStats counters_;
     LatencyReservoir queueWait_{kQueueWaitWindow};
     LatencyReservoir drainService_{kDrainServiceWindow};
     LatencyReservoir groupService_{kGroupServiceWindow};
+    LatencyReservoir requestService_{kRequestServiceWindow};
 };
 
 }  // namespace a3

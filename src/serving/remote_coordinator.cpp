@@ -127,10 +127,43 @@ RemoteShardCoordinator::RemoteShardCoordinator(
         offset += sizes[s];
     }
     ensureReplicationAll(/*countRebinds=*/false);
+
+    // The background heartbeat starts only after the shards are
+    // fully bound, so the thread never observes a half-constructed
+    // coordinator. It shares heartbeat() with direct callers — the
+    // coordinator mutex serializes them.
+    if (config_.heartbeatPeriodSeconds > 0.0) {
+        const std::chrono::duration<double> period(
+            config_.heartbeatPeriodSeconds);
+        heartbeatThread_ = std::thread([this, period] {
+            std::unique_lock<std::mutex> lock(hbMu_);
+            while (true) {
+                hbCv_.wait_for(lock, period,
+                               [this] { return hbStop_; });
+                if (hbStop_)
+                    return;
+                // Probe outside hbMu_ so a destructor's stop request
+                // never waits behind a full heartbeat sweep.
+                lock.unlock();
+                heartbeat();
+                lock.lock();
+            }
+        });
+    }
 }
 
 RemoteShardCoordinator::~RemoteShardCoordinator()
 {
+    // Stop the background heartbeat before tearing the transports
+    // down: the thread must never probe a worker mid-shutdown.
+    if (heartbeatThread_.joinable()) {
+        {
+            const std::lock_guard<std::mutex> lock(hbMu_);
+            hbStop_ = true;
+        }
+        hbCv_.notify_all();
+        heartbeatThread_.join();
+    }
     for (Worker &worker : workers_) {
         if (worker.transport == nullptr)
             continue;

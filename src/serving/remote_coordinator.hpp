@@ -33,8 +33,13 @@
  * missed deadline makes a worker suspect, a second consecutive miss
  * (or any unrecoverable transport failure) makes it dead, and
  * heartbeat() re-replicates a dead worker's shards onto survivors.
- * Callers drive heartbeats explicitly — the coordinator spawns no
- * background thread, keeping tests and TSan runs deterministic.
+ * With heartbeatPeriodSeconds set, an internal background thread
+ * drives heartbeat() at that period (stopped and joined by the
+ * destructor before any shutdown frame is sent); at the default 0
+ * no thread is spawned and callers drive heartbeats explicitly —
+ * the deterministic mode the health-machine tests rely on. Both
+ * modes may coexist: heartbeat() is safe to call concurrently with
+ * the background thread, serialized by the coordinator mutex.
  *
  * Thread safety: one internal mutex serializes all operations;
  * parallelism comes from the worker fan-out (queries are pipelined
@@ -45,12 +50,14 @@
 #ifndef A3_SERVING_REMOTE_COORDINATOR_HPP
 #define A3_SERVING_REMOTE_COORDINATOR_HPP
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attention/backend.hpp"
@@ -108,6 +115,14 @@ struct RemoteShardConfig
     /** Deadline for one heartbeat ack. */
     double heartbeatTimeoutSeconds = 0.25;
 
+    /**
+     * Period of the internal background heartbeat thread; 0 (the
+     * default) spawns no thread and leaves heartbeats caller-driven.
+     * The thread starts after construction fully binds the shards
+     * and is stopped and joined first thing in the destructor.
+     */
+    double heartbeatPeriodSeconds = 0.0;
+
     /** Optional wrapper around every worker transport. */
     TransportDecorator decorateTransport;
 };
@@ -160,6 +175,8 @@ class RemoteShardCoordinator final : public AttentionBackend
     /**
      * Probe every non-dead worker and apply the health transitions,
      * then re-replicate any under-replicated shard onto survivors.
+     * Driven by the background thread when heartbeatPeriodSeconds is
+     * set; always safe to call directly as well.
      */
     void heartbeat();
 
@@ -265,6 +282,14 @@ class RemoteShardCoordinator final : public AttentionBackend
     mutable std::vector<PartialResult> partials_;
     mutable PartialReplyPayload partialScratch_;
     mutable ResultReplyPayload resultScratch_;
+
+    /** Background heartbeat machinery (heartbeatPeriodSeconds > 0):
+     *  the thread waits on hbCv_ so the destructor can interrupt a
+     *  sleep immediately instead of waiting a full period out. */
+    std::mutex hbMu_;
+    std::condition_variable hbCv_;
+    bool hbStop_ = false;
+    std::thread heartbeatThread_;
 };
 
 }  // namespace a3

@@ -81,25 +81,42 @@ ShardedBackend::computePartials(
     const Vector &query, std::vector<PartialResult> &partials) const
 {
     partials.resize(shards_.size());
-    if (config_.pool != nullptr) {
-        // One-pointer capture so the closure fits std::function's
-        // small-object buffer (the engine's parallelFor idiom); each
-        // lane writes only its own partial slot.
-        struct Ctx
-        {
-            const ShardedBackend *self;
-            const Vector *query;
-            std::vector<PartialResult> *partials;
-        } ctx{this, &query, &partials};
-        config_.pool->parallelFor(shards_.size(),
-                                  [&ctx](std::size_t s) {
-            ctx.self->shards_[s]->runPartialInto(
-                *ctx.query, (*ctx.partials)[s]);
-        });
-    } else {
-        for (std::size_t s = 0; s < shards_.size(); ++s)
-            shards_[s]->runPartialInto(query, partials[s]);
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        shards_[s]->runPartialInto(query, partials[s]);
+}
+
+std::size_t
+ShardedBackend::workUnitCount() const
+{
+    // A single shard stays a single unit so the engine routes the
+    // query through the wrapped backend's exact runInto() path.
+    return shards_.size();
+}
+
+void
+ShardedBackend::runUnitPartialInto(std::size_t unit,
+                                   const Vector &query,
+                                   PartialResult &out) const
+{
+    a3Assert(unit < shards_.size(), "work unit ", unit, " out of ",
+             shards_.size());
+    shards_[unit]->runPartialInto(query, out);
+}
+
+void
+ShardedBackend::mergeUnitsInto(
+    const std::vector<PartialResult> &partials,
+    AttentionResult &out) const
+{
+    a3Assert(partials.size() == shards_.size(),
+             "expected one partial per shard");
+    if (shards_.size() == 1) {
+        finalizePartialInto(partials.front(), out);
+        return;
     }
+    thread_local PartialResult merged;
+    mergePartials(partials, merged);
+    finalizePartialInto(merged, out);
 }
 
 void

@@ -7,10 +7,18 @@
  * task's row count. ShardedBackend lifts that cap by partitioning a
  * task's key/value rows into S row-contiguous, size-balanced shards,
  * binding an inner backend per shard (any of the four kinds via
- * makeBackend), fanning queries out across the shards — optionally in
- * parallel on a borrowed engine ThreadPool — and merging the
- * per-shard softmax partials with the numerically stable log-sum-exp
- * combine (see PartialResult for the decomposition).
+ * makeBackend), fanning queries out across the shards, and merging
+ * the per-shard softmax partials with the numerically stable
+ * log-sum-exp combine (see PartialResult for the decomposition).
+ *
+ * Parallelism comes from above, not from a borrowed pool: the
+ * backend exposes its shards through the AttentionBackend work-unit
+ * contract (workUnitCount() / runUnitPartialInto() /
+ * mergeUnitsInto()), and AttentionEngine flattens every (query,
+ * shard) unit of a batch into one work list — shard partials from
+ * many queries share the same pool lanes, with no nested
+ * ThreadPool. Direct runInto() calls compute the shards serially on
+ * the calling thread.
  *
  * Guarantees:
  *  - S = 1 delegates straight to the wrapped backend, so a sharded
@@ -18,8 +26,8 @@
  *    one, for every backend kind.
  *  - Shard partials are always merged serially in shard-index order
  *    after the fan-out completes, so results are bit-identical
- *    between serial and parallel fan-out and across thread counts
- *    (the exact-match mode: fixed merge order).
+ *    between serial and engine-parallel fan-out and across thread
+ *    counts (the exact-match mode: fixed merge order).
  *  - Reference shards match the unsharded reference within a small
  *    ULP bound (each weight picks up one exp(m_s - M) scaling and
  *    the value accumulation is reassociated at shard boundaries);
@@ -44,7 +52,6 @@
 
 #include "attention/backend.hpp"
 #include "attention/types.hpp"
-#include "engine/thread_pool.hpp"
 #include "tensor/matrix.hpp"
 
 namespace a3 {
@@ -59,17 +66,6 @@ struct ShardedConfig
      * another.
      */
     std::size_t shardRows = 4096;
-
-    /**
-     * Optional borrowed pool to fan the per-shard partial passes out
-     * on; nullptr computes them serially on the calling thread. The
-     * merge order is fixed either way, so both modes produce
-     * bit-identical results. A nested call from inside one of the
-     * pool's own job bodies (a sharded backend queried through the
-     * engine that owns the pool) runs inline per ThreadPool's nesting
-     * rule.
-     */
-    const ThreadPool *pool = nullptr;
 };
 
 /** Row-sharded composite over per-shard inner backends. */
@@ -87,14 +83,27 @@ class ShardedBackend final : public AttentionBackend
     std::string name() const override;
 
     /**
-     * Answer one query: per-shard partials (serial or pooled per the
-     * config), then the fixed-order log-sum-exp merge. With a single
-     * shard this delegates to the wrapped backend's runInto() —
-     * bit-identical by construction. Row ids in scores, weights,
+     * Answer one query: per-shard partials computed serially on the
+     * calling thread, then the fixed-order log-sum-exp merge. With a
+     * single shard this delegates to the wrapped backend's runInto()
+     * — bit-identical by construction. Row ids in scores, weights,
      * candidates, and kept are global; iterations sums the shards.
      */
     void runInto(const Vector &query,
                  AttentionResult &out) const override;
+
+    /**
+     * Work-unit decomposition: one unit per shard when S > 1 (the
+     * engine fans the units out and merges them in shard order), one
+     * unit total when S = 1 (so the engine keeps the wrapped
+     * backend's exact runInto() path — the S = 1 bit-identity
+     * guarantee for the quantized kinds).
+     */
+    std::size_t workUnitCount() const override;
+    void runUnitPartialInto(std::size_t unit, const Vector &query,
+                            PartialResult &out) const override;
+    void mergeUnitsInto(const std::vector<PartialResult> &partials,
+                        AttentionResult &out) const override;
 
     /**
      * Merge the shard partials into one unnormalized partial (global
@@ -135,9 +144,9 @@ class ShardedBackend final : public AttentionBackend
 
   private:
     /**
-     * Fan runPartialInto() across the shards into partials_[s] slots
-     * of `partials` (resized to shardCount()), serially or on the
-     * configured pool.
+     * Fan runPartialInto() across the shards into partials[s] slots
+     * of `partials` (resized to shardCount()), serially on the
+     * calling thread.
      */
     void computePartials(const Vector &query,
                          std::vector<PartialResult> &partials) const;

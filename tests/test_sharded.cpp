@@ -22,7 +22,6 @@
 #include "attention/backend.hpp"
 #include "attention/quantized.hpp"
 #include "engine/engine.hpp"
-#include "engine/thread_pool.hpp"
 #include "serving/batch_scheduler.hpp"
 #include "serving/session_cache.hpp"
 #include "serving/sharded_backend.hpp"
@@ -328,6 +327,10 @@ TEST(ShardedBackend, PackedQuantizedShardsMatchWord32AndShrink)
 
 TEST(ShardedBackend, ParallelMergeBitIdenticalToSerial)
 {
+    // Parallelism now comes from the engine's flattened (query,
+    // shard) work list, not from a pool plumbed into the backend:
+    // the engine decomposes each query into per-shard units and the
+    // fixed-order merge makes who computed a partial irrelevant.
     Rng rng(11500);
     const std::size_t n = 300;
     const std::size_t d = 16;
@@ -336,28 +339,39 @@ TEST(ShardedBackend, ParallelMergeBitIdenticalToSerial)
     const Matrix key = randomMatrix(rng, n, d);
     const Matrix value = randomMatrix(rng, n, d);
 
-    ThreadPool pool(4);
-    ShardedConfig serialConfig;
-    serialConfig.shardRows = 64;
-    ShardedConfig parallelConfig = serialConfig;
-    parallelConfig.pool = &pool;
-    const ShardedBackend serial(cfg, key, value, serialConfig);
-    const ShardedBackend parallel(cfg, key, value, parallelConfig);
+    ShardedConfig sharding;
+    sharding.shardRows = 64;
+    const ShardedBackend sharded(cfg, key, value, sharding);
+    ASSERT_GT(sharded.shardCount(), 1u);
+    EXPECT_EQ(sharded.workUnitCount(), sharded.shardCount());
 
-    // Fixed merge order: who computes the partials must not matter.
-    for (int trial = 0; trial < 8; ++trial) {
-        const Vector q = randomQuery(rng, d);
-        expectBitIdentical(parallel.run(q), serial.run(q));
+    const AttentionEngine parallel(4);
+    const AttentionEngine serial(1);
+    std::vector<Vector> queries;
+    for (int i = 0; i < 8; ++i)
+        queries.push_back(randomQuery(rng, d));
+    const std::vector<AttentionResult> wide =
+        parallel.run(sharded, queries);
+    const std::vector<AttentionResult> narrow =
+        serial.run(sharded, queries);
+    ASSERT_EQ(wide.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        SCOPED_TRACE("query " + std::to_string(i));
+        // Engine (any thread count) == engine (1 thread) == direct
+        // sequential backend call, bit for bit.
+        expectBitIdentical(wide[i], narrow[i]);
+        expectBitIdentical(wide[i], sharded.run(queries[i]));
     }
 }
 
 TEST(ShardedBackend, ParallelMergeUnderConcurrentEngineQueries)
 {
-    // The TSan shape: engine lanes issue concurrent queries against
-    // one sharded backend whose fan-out borrows another pool, so
-    // nested parallelFor calls run while other lanes hold the pool's
-    // serialization lock. Batched results must stay bit-identical to
-    // sequential ones.
+    // The old TSan shape — engine lanes triggering nested
+    // parallelFor calls on a borrowed pool — is gone: the engine
+    // flattens every (query, shard) unit of the batch into its own
+    // work list, so shard partials of many concurrent queries share
+    // lanes with no nesting. Batched results must stay bit-identical
+    // to sequential ones.
     Rng rng(11600);
     const std::size_t n = 256;
     const std::size_t d = 12;
@@ -366,10 +380,8 @@ TEST(ShardedBackend, ParallelMergeUnderConcurrentEngineQueries)
     const Matrix key = randomMatrix(rng, n, d);
     const Matrix value = randomMatrix(rng, n, d);
 
-    ThreadPool pool(4);
     ShardedConfig sharding;
     sharding.shardRows = 64;
-    sharding.pool = &pool;
     const ShardedBackend sharded(cfg, key, value, sharding);
 
     AttentionEngine engine(4);
