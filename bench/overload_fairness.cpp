@@ -116,10 +116,14 @@ measureOverload(AttentionEngine &engine, double multiplier,
     config.kind = EngineKind::ApproxFloat;
     SessionCache cache;
     std::vector<std::string> ids;
+    std::vector<SessionHandle> handles;
     for (std::size_t s = 0; s < sessions; ++s) {
         ids.push_back("session-" + std::to_string(s));
-        cache.bind(ids.back(), config, randomMatrix(rng, rows, d),
-                   randomMatrix(rng, rows, d));
+        handles.push_back(
+            cache.bindSession(ids.back(), config,
+                              randomMatrix(rng, rows, d),
+                              randomMatrix(rng, rows, d))
+                .handle);
     }
 
     AdmissionPolicy policy;
@@ -166,7 +170,7 @@ measureOverload(AttentionEngine &engine, double multiplier,
                 ++row.offered;
                 SubmitOptions options;
                 options.deadlineSeconds = kDeadlineSeconds;
-                if (scheduler.submit(ids[s], query, options)
+                if (scheduler.submit(handles[s], query, options)
                         .admitted())
                     ++row.admitted;
             }
@@ -260,10 +264,14 @@ measureAdaptive(AttentionEngine &engine, double multiplier,
     config.kind = EngineKind::ApproxFloat;
     SessionCache cache;
     std::vector<std::string> ids;
+    std::vector<SessionHandle> handles;
     for (std::size_t s = 0; s < sessions; ++s) {
         ids.push_back("adaptive-" + std::to_string(s));
-        cache.bind(ids.back(), config, randomMatrix(rng, rows, d),
-                   randomMatrix(rng, rows, d));
+        handles.push_back(
+            cache.bindSession(ids.back(), config,
+                              randomMatrix(rng, rows, d),
+                              randomMatrix(rng, rows, d))
+                .handle);
     }
 
     AdmissionPolicy policy;
@@ -283,7 +291,7 @@ measureAdaptive(AttentionEngine &engine, double multiplier,
     for (std::size_t round = 0; round < rounds; ++round) {
         for (std::size_t i = 0; i < offeredPerRound; ++i) {
             ++row.offered;
-            if (scheduler.submit(ids[i % sessions], query)
+            if (scheduler.submit(handles[i % sessions], query)
                     .admitted())
                 ++row.admitted;
         }

@@ -153,24 +153,24 @@ measureCache(std::size_t sessions, std::size_t n, std::size_t d,
     RunningStat miss;
     for (std::size_t s = 0; s < sessions; ++s) {
         const double start = now();
-        cache.bind("session-" + std::to_string(s), config, keys[s],
-                   values[s]);
+        cache.bindSession("session-" + std::to_string(s), config,
+                          keys[s], values[s]);
         miss.add(now() - start);
     }
     // Steady state from here: drop the bind-phase counters so the
     // reported hits/misses describe only the measured hit loop.
     cache.resetCounters();
-    // Hit path as a hot serving loop runs it: find() first, so the
-    // matrices are never copied (bind()'s by-value parameters would
-    // charge a full task copy to every timed hit).
+    // Hit path as a hot serving loop runs it: lookupSession() first,
+    // so the matrices are never copied (bindSession()'s by-value
+    // parameters would charge a full task copy to every timed hit).
     RunningStat hit;
     for (std::size_t r = 0; r < repeats; ++r) {
         for (std::size_t s = 0; s < sessions; ++s) {
             const std::string id = "session-" + std::to_string(s);
             const double start = now();
-            const auto backend = cache.find(id);
+            const SessionHandle handle = cache.lookupSession(id);
             hit.add(now() - start);
-            if (backend == nullptr)
+            if (!handle.valid())
                 fatal("cache lost a session");
         }
     }
@@ -214,9 +214,13 @@ measureScheduler(std::size_t sessions, std::size_t queriesPerSession,
     AttentionEngine engine(threads);
     SessionCache cache;
     BatchScheduler scheduler(engine, cache);
+    std::vector<SessionHandle> handles;
     for (std::size_t s = 0; s < sessions; ++s) {
-        cache.bind("session-" + std::to_string(s), config,
-                   randomMatrix(rng, n, d), randomMatrix(rng, n, d));
+        handles.push_back(
+            cache.bindSession("session-" + std::to_string(s), config,
+                              randomMatrix(rng, n, d),
+                              randomMatrix(rng, n, d))
+                .handle);
     }
     std::vector<Vector> queries(sessions * queriesPerSession);
     for (auto &q : queries) {
@@ -229,8 +233,7 @@ measureScheduler(std::size_t sessions, std::size_t queriesPerSession,
         std::size_t i = 0;
         for (std::size_t q = 0; q < queriesPerSession; ++q)
             for (std::size_t s = 0; s < sessions; ++s)
-                scheduler.submit("session-" + std::to_string(s),
-                                 queries[i++]);
+                scheduler.submit(handles[s], queries[i++]);
     };
     // Warm-up drain spins the pool up and grows the scratch arenas;
     // resetting the counters afterwards makes the reported stats
@@ -297,10 +300,10 @@ measureCapacity(const EngineConfig &config, const char *kvFormat,
     // at that moment (the newly bound session has displaced the
     // oldest one).
     for (std::size_t s = 0; s < 100000; ++s) {
-        const auto backend = cache.bind(
+        const BindOutcome bound = cache.bindSession(
             "session-" + std::to_string(s), config, key, value);
         if (row.bytesPerSession == 0)
-            row.bytesPerSession = backend->memoryBytes();
+            row.bytesPerSession = bound.logicalBytes;
         if (cache.stats().evictions > 0) {
             row.sessionCapacity = cache.sessionCount();
             return row;

@@ -62,20 +62,36 @@ main()
     sharding.shardRows = 16384;
 
     AttentionEngine engine;
-    SessionCache cache(256u << 20);
+    ShardStore store;  // cross-session dedup of frozen shards
+    SessionCacheConfig cacheConfig;
+    cacheConfig.byteBudget = 256u << 20;
+    cacheConfig.engine = config;
+    cacheConfig.shardRows = sharding.shardRows;
+    cacheConfig.store = &store;
+    SessionCache cache(cacheConfig);
     BatchScheduler scheduler(engine, cache);
-    const auto backend = cache.insert(
-        "research-corpus",
-        makeShardedBackend(config, key, value, sharding));
+    const BindOutcome corpus =
+        cache.bindSession("research-corpus", key, value);
+    const auto backend = corpus.handle.backend();
     const auto &sharded =
         dynamic_cast<const ShardedBackend &>(*backend);
     std::printf("bound %zu rows as %zu shards (%zu MiB in cache)\n",
                 backend->rows(), sharded.shardCount(),
                 cache.bytesInUse() >> 20);
 
+    // A second session over the same corpus shares its frozen shards
+    // through the store instead of re-binding them: the cache charges
+    // the shared bytes once, so the second binding is nearly free.
+    const BindOutcome reviewer =
+        cache.bindSession("reviewer-corpus", key, value);
+    std::printf("second session over the same corpus: %s, "
+                "%zu/%zu shards shared, +%zu MiB charged\n",
+                bindStatusName(reviewer.status), reviewer.sharedShards,
+                reviewer.shardCount, reviewer.chargedBytes >> 20);
+
     // 2. Questions stream through the ordinary serving tier.
     for (int i = 0; i < 4; ++i)
-        scheduler.submit("research-corpus", randomQuery(d));
+        scheduler.submit(corpus.handle, randomQuery(d));
     for (const ServingResult &done : scheduler.drain()) {
         float weightSum = 0.0f;
         for (const float w : done.result.weights)
@@ -97,12 +113,13 @@ main()
 
     // 4. The corpus grows mid-stream: appended rows fill the last
     //    shard to capacity, then open a new shard.
-    cache.append("research-corpus", randomMatrix(20000, d),
-                 randomMatrix(20000, d));
-    std::printf("appended 20000 rows: now %zu rows in %zu shards\n",
-                backend->rows(), sharded.shardCount());
+    const AppendOutcome grown = cache.appendSession(
+        corpus.handle, randomMatrix(20000, d), randomMatrix(20000, d));
+    std::printf("appended %zu rows: now %zu rows in %zu shards\n",
+                grown.rowsAppended, backend->rows(),
+                grown.shardCount);
 
-    scheduler.submit("research-corpus", randomQuery(d));
+    scheduler.submit(corpus.handle, randomQuery(d));
     const auto wave2 = scheduler.drain();
     std::printf("post-append question answered over %zu rows\n",
                 wave2.front().result.weights.size());

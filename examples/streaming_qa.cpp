@@ -66,20 +66,25 @@ main()
     scheduler.setSessionWeight("alice", 2);
 
     // 1. Two users load their stories (the expensive bind: column
-    //    sorting the key, Section IV-A).
-    cache.bind("alice", config, randomMatrix(320, d),
-               randomMatrix(320, d));
-    cache.bind("bob", config, randomMatrix(512, d),
-               randomMatrix(512, d));
-    std::printf("bound 2 sessions, cache holds %zu bytes\n",
-                cache.bytesInUse());
+    //    sorting the key, Section IV-A). bindSession() returns a
+    //    typed BindOutcome whose SessionHandle names this binding —
+    //    later appends and submits go through the handle, so they can
+    //    never land on a session that was evicted and re-bound.
+    const BindOutcome alice = cache.bindSession(
+        "alice", config, randomMatrix(320, d), randomMatrix(320, d));
+    const BindOutcome bob = cache.bindSession(
+        "bob", config, randomMatrix(512, d), randomMatrix(512, d));
+    std::printf("bound 2 sessions (%s, %s), cache holds %zu "
+                "bytes\n",
+                bindStatusName(alice.status),
+                bindStatusName(bob.status), cache.bytesInUse());
 
     // 2. A first wave of interleaved questions. The scheduler groups
     //    them per session so every question against one story shares
     //    its preprocessed backend.
     for (int i = 0; i < 4; ++i) {
-        scheduler.submit("alice", randomQuery(d));
-        scheduler.submit("bob", randomQuery(d));
+        scheduler.submit(alice.handle, randomQuery(d));
+        scheduler.submit(bob.handle, randomQuery(d));
     }
     for (const ServingResult &done : scheduler.drain()) {
         std::printf("ticket %llu (%s): %zu candidates, %zu rows kept\n",
@@ -91,14 +96,17 @@ main()
     // 3. Alice's story grows mid-stream: 16 new sentences arrive. The
     //    incremental append() merges them into the sorted key instead
     //    of re-binding all 320 existing rows.
-    cache.append("alice", randomMatrix(16, d), randomMatrix(16, d));
-    std::printf("appended 16 rows to alice's story (now %zu rows)\n",
-                cache.find("alice")->rows());
+    const AppendOutcome grown = cache.appendSession(
+        alice.handle, randomMatrix(16, d), randomMatrix(16, d));
+    std::printf("appended %zu rows to alice's story (%s, now %zu "
+                "rows)\n",
+                grown.rowsAppended, appendStatusName(grown.status),
+                alice.handle.backend()->rows());
 
     // 4. A second wave hits the warm cache: no preprocessing runs.
     for (int i = 0; i < 3; ++i) {
-        scheduler.submit("alice", randomQuery(d));
-        scheduler.submit("bob", randomQuery(d));
+        scheduler.submit(alice.handle, randomQuery(d));
+        scheduler.submit(bob.handle, randomQuery(d));
     }
     const auto wave2 = scheduler.drain();
     std::printf("second wave answered %zu questions\n", wave2.size());
@@ -111,7 +119,7 @@ main()
     std::size_t shed = 0;
     for (int i = 0; i < 20; ++i) {
         const AdmissionOutcome outcome =
-            scheduler.submit("bob", randomQuery(d));
+            scheduler.submit(bob.handle, randomQuery(d));
         if (outcome.admitted())
             ++admitted;
         else
@@ -122,7 +130,7 @@ main()
                 admissionDecisionName(
                     AdmissionDecision::RejectedSessionCap));
     const bool aliceAdmitted =
-        scheduler.submit("alice", randomQuery(d)).admitted();
+        scheduler.submit(alice.handle, randomQuery(d)).admitted();
     std::printf("alice still admitted during bob's burst: %s\n",
                 aliceAdmitted ? "yes" : "no");
     std::size_t answered = 0;

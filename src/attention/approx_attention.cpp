@@ -1,10 +1,13 @@
 #include "attention/approx_attention.hpp"
 
 #include <numeric>
+#include <utility>
 
 #include "attention/post_scoring.hpp"
 #include "attention/reference.hpp"
+#include "attention/serialize.hpp"
 #include "kernels/kernels.hpp"
+#include "net/wire.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -45,6 +48,91 @@ ApproxAttention::memoryBytes() const
 {
     return (key_.data().size() + value_.data().size()) * sizeof(float) +
            sorted_.storageBytes();
+}
+
+std::unique_ptr<AttentionBackend>
+ApproxAttention::clone() const
+{
+    // Member-wise copy: matrices and the sorted columns are plain
+    // vectors, so the clone answers queries bit-identically without
+    // re-running the build() sort.
+    return std::unique_ptr<AttentionBackend>(
+        new ApproxAttention(*this));
+}
+
+std::size_t
+ApproxAttention::compact()
+{
+    return key_.shrinkToFit() + value_.shrinkToFit() +
+           sorted_.compact();
+}
+
+void
+ApproxAttention::serializeState(WireWriter &out) const
+{
+    writeMatrix(out, key_);
+    writeMatrix(out, value_);
+    // The sorted orders travel verbatim — (vals, rowIds) per column —
+    // so restore() skips the build() sort entirely.
+    out.u8(config_.candidateSelection ? 1 : 0);
+    if (!config_.candidateSelection)
+        return;
+    const std::size_t rows = sorted_.rows();
+    const std::size_t cols = sorted_.cols();
+    std::vector<float> vals(rows);
+    std::vector<std::uint32_t> rowIds(rows);
+    for (std::size_t c = 0; c < cols; ++c) {
+        const auto &column = sorted_.columnEntries(c);
+        for (std::size_t i = 0; i < rows; ++i) {
+            vals[i] = column[i].val;
+            rowIds[i] = column[i].rowId;
+        }
+        out.floats(vals.data(), rows);
+        out.u32s(rowIds.data(), rows);
+    }
+}
+
+std::unique_ptr<ApproxAttention>
+ApproxAttention::restore(const ApproxConfig &config, WireReader &in)
+{
+    Matrix key;
+    Matrix value;
+    if (!readMatrix(in, key) || !readMatrix(in, value) ||
+        key.rows() != value.rows() || key.cols() != value.cols())
+        return nullptr;
+    const std::uint8_t hasSorted = in.u8();
+    if (!in.ok() ||
+        (hasSorted != 0) != config.candidateSelection)
+        return nullptr;
+
+    auto backend =
+        std::unique_ptr<ApproxAttention>(new ApproxAttention());
+    backend->config_ = config;
+    if (hasSorted != 0) {
+        const std::size_t rows = key.rows();
+        const std::size_t cols = key.cols();
+        std::vector<std::vector<SortedKeyEntry>> columns(cols);
+        std::vector<float> vals;
+        std::vector<std::uint32_t> rowIds;
+        for (std::size_t c = 0; c < cols; ++c) {
+            in.floats(vals);
+            in.u32s(rowIds);
+            if (!in.ok() || vals.size() != rows ||
+                rowIds.size() != rows)
+                return nullptr;
+            auto &column = columns[c];
+            column.resize(rows);
+            for (std::size_t i = 0; i < rows; ++i)
+                column[i] = {vals[i], rowIds[i]};
+        }
+        backend->sorted_ =
+            SortedKey::fromColumns(rows, cols, std::move(columns));
+    }
+    backend->key_ = std::move(key);
+    backend->value_ = std::move(value);
+    Scratch::forThread().reserveTask(backend->key_.rows(),
+                                     backend->key_.cols());
+    return backend;
 }
 
 CandidateSearchResult

@@ -92,7 +92,27 @@ class ApproxAttention final : public AttentionBackend
     std::size_t rows() const override { return key_.rows(); }
     std::size_t dims() const override { return key_.cols(); }
 
+    std::unique_ptr<AttentionBackend> clone() const override;
+    bool serializable() const override { return true; }
+
+    /**
+     * Matrices plus the sorted-key columns verbatim — restore()
+     * adopts the orders instead of re-running build()'s O(d n log n)
+     * sort, which is the approx kinds' share of the warm-rebind win.
+     */
+    void serializeState(WireWriter &out) const override;
+    std::size_t compact() override;
+
+    /** Rebuild from a serializeState() payload; nullptr on a
+     *  malformed payload. `config` supplies the approximation knobs
+     *  (they are not part of the image). */
+    static std::unique_ptr<ApproxAttention>
+    restore(const ApproxConfig &config, WireReader &in);
+
   private:
+    /** restore() adopts members directly. */
+    ApproxAttention() = default;
+
     /**
      * Stages 1-3 (selection, candidate scoring, post-scoring) shared
      * by runInto() and runPartialInto(): fills scratch.rowIds,

@@ -9,8 +9,10 @@
 #include "attention/post_scoring.hpp"
 #include "attention/quantized.hpp"
 #include "attention/reference.hpp"
+#include "attention/serialize.hpp"
 #include "kernels/kernels.hpp"
 #include "kernels/scratch.hpp"
+#include "net/wire.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -103,6 +105,19 @@ AttentionBackend::mergeUnitsInto(
     finalizePartialInto(partials.front(), out);
 }
 
+std::unique_ptr<AttentionBackend>
+AttentionBackend::clone() const
+{
+    fatal("backend \"", name(), "\" does not support clone()");
+}
+
+void
+AttentionBackend::serializeState(WireWriter &out) const
+{
+    (void)out;
+    fatal("backend \"", name(), "\" is not serializable");
+}
+
 ReferenceAttention::ReferenceAttention(Matrix key, Matrix value)
     : key_(std::move(key)), value_(std::move(value))
 {
@@ -155,6 +170,38 @@ ReferenceAttention::memoryBytes() const
     return (key_.data().size() + value_.data().size()) * sizeof(float);
 }
 
+std::unique_ptr<AttentionBackend>
+ReferenceAttention::clone() const
+{
+    return std::unique_ptr<AttentionBackend>(
+        new ReferenceAttention(*this));
+}
+
+std::size_t
+ReferenceAttention::compact()
+{
+    return key_.shrinkToFit() + value_.shrinkToFit();
+}
+
+void
+ReferenceAttention::serializeState(WireWriter &out) const
+{
+    writeMatrix(out, key_);
+    writeMatrix(out, value_);
+}
+
+std::unique_ptr<ReferenceAttention>
+ReferenceAttention::restore(WireReader &in)
+{
+    Matrix key;
+    Matrix value;
+    if (!readMatrix(in, key) || !readMatrix(in, value) ||
+        key.rows() != value.rows() || key.cols() != value.cols())
+        return nullptr;
+    return std::make_unique<ReferenceAttention>(std::move(key),
+                                                std::move(value));
+}
+
 ApproxQuantizedAttention::ApproxQuantizedAttention(
     Matrix key, Matrix value, ApproxConfig approx, int intBits,
     int fracBits, PackedKvFormat packedKv)
@@ -166,7 +213,65 @@ ApproxQuantizedAttention::ApproxQuantizedAttention(
 {
 }
 
+ApproxQuantizedAttention::ApproxQuantizedAttention(
+    std::unique_ptr<ApproxAttention> approx,
+    std::unique_ptr<QuantizedAttention> datapath)
+    : approx_(std::move(approx)), datapath_(std::move(datapath))
+{
+    a3Assert(approx_ != nullptr && datapath_ != nullptr,
+             "adopted halves must be non-null");
+    a3Assert(approx_->rows() == datapath_->rows() &&
+                 approx_->dims() == datapath_->dims(),
+             "selection/datapath shape mismatch");
+}
+
 ApproxQuantizedAttention::~ApproxQuantizedAttention() = default;
+
+std::unique_ptr<AttentionBackend>
+ApproxQuantizedAttention::clone() const
+{
+    auto approx = std::unique_ptr<ApproxAttention>(
+        static_cast<ApproxAttention *>(
+            approx_->clone().release()));
+    auto datapath = std::unique_ptr<QuantizedAttention>(
+        static_cast<QuantizedAttention *>(
+            datapath_->clone().release()));
+    return std::unique_ptr<AttentionBackend>(
+        new ApproxQuantizedAttention(std::move(approx),
+                                     std::move(datapath)));
+}
+
+std::size_t
+ApproxQuantizedAttention::compact()
+{
+    return approx_->compact() + datapath_->compact();
+}
+
+void
+ApproxQuantizedAttention::serializeState(WireWriter &out) const
+{
+    // Both halves in sequence: the float selection state, then the
+    // quantized SRAM image.
+    approx_->serializeState(out);
+    datapath_->serializeState(out);
+}
+
+std::unique_ptr<ApproxQuantizedAttention>
+ApproxQuantizedAttention::restore(const EngineConfig &config,
+                                  WireReader &in)
+{
+    auto approx = ApproxAttention::restore(config.approx, in);
+    if (approx == nullptr)
+        return nullptr;
+    auto datapath = QuantizedAttention::restore(config, in);
+    if (datapath == nullptr ||
+        datapath->rows() != approx->rows() ||
+        datapath->dims() != approx->dims())
+        return nullptr;
+    return std::unique_ptr<ApproxQuantizedAttention>(
+        new ApproxQuantizedAttention(std::move(approx),
+                                     std::move(datapath)));
+}
 
 void
 ApproxQuantizedAttention::append(const Matrix &keyRows,
@@ -283,6 +388,26 @@ makeBackend(const EngineConfig &config, Matrix key, Matrix value)
         return std::make_unique<ApproxQuantizedAttention>(
             std::move(key), std::move(value), config.approx,
             config.intBits, config.fracBits, config.packedKv);
+    }
+    panic("unknown engine kind");
+}
+
+std::unique_ptr<AttentionBackend>
+deserializeBackend(const EngineConfig &config, WireReader &in)
+{
+    if (config.kind == EngineKind::ExactQuantized ||
+        config.kind == EngineKind::ApproxQuantized) {
+        validateQuantizedBits(config);
+    }
+    switch (config.kind) {
+      case EngineKind::ExactFloat:
+        return ReferenceAttention::restore(in);
+      case EngineKind::ApproxFloat:
+        return ApproxAttention::restore(config.approx, in);
+      case EngineKind::ExactQuantized:
+        return QuantizedAttention::restore(config, in);
+      case EngineKind::ApproxQuantized:
+        return ApproxQuantizedAttention::restore(config, in);
     }
     panic("unknown engine kind");
 }

@@ -40,6 +40,8 @@ namespace a3 {
 
 class ApproxAttention;
 class QuantizedAttention;
+class WireWriter;
+class WireReader;
 
 /**
  * One preprocessed key/value task that can answer queries. runInto()
@@ -158,6 +160,61 @@ class AttentionBackend
 
     /** Embedding dimension d of the bound task. */
     virtual std::size_t dims() const = 0;
+
+    /**
+     * Deep copy of the bound task — the copy-on-append path of shared
+     * shard handles (see serving/shard_store.hpp): before a shared
+     * mutable tail is extended, the writer clones it so other sessions
+     * keep querying the original. Queries against the clone are
+     * bit-identical to the original (the preprocessed state is copied,
+     * not rebuilt). The base implementation fatal()s; every plain
+     * backend kind overrides it.
+     */
+    virtual std::unique_ptr<AttentionBackend> clone() const;
+
+    /**
+     * Whether serializeState() round-trips this backend through
+     * deserializeBackend(). The plain kinds are serializable; the
+     * composite serving-layer backends (sharded, remote) are not —
+     * they spill per shard instead.
+     */
+    virtual bool serializable() const { return false; }
+
+    /**
+     * Append the preprocessed task state to `out` in the canonical
+     * little-endian layout deserializeBackend() reads. The packed
+     * quantized lanes and sorted-key orders are written verbatim, so
+     * a restored backend answers queries bit-identically to this one
+     * — the spill tier's determinism contract. Only valid when
+     * serializable().
+     */
+    virtual void serializeState(WireWriter &out) const;
+
+    /**
+     * Release slack capacity retained by incremental append() calls
+     * (vector over-reserve in matrices, sorted-key columns, quantized
+     * lanes). Returns the bytes reclaimed. Query results are
+     * unaffected — compaction moves bytes, never values — and the
+     * tail-shard freeze path runs it before a shard is registered for
+     * sharing or spilled, so shared and on-disk images carry no
+     * slack. Not thread-safe (like append()).
+     */
+    virtual std::size_t compact() { return 0; }
+
+    /**
+     * Advisory remaining-deadline hint for the next queries, in
+     * seconds (<= 0 clears the hint). The BatchScheduler publishes
+     * each drained group's tightest remaining budget before the
+     * engine pass; backends that wait on external resources (the
+     * remote shard coordinator) clamp their per-query waits to it.
+     * Purely advisory and monotonic-cheap: the default is a no-op,
+     * and implementations store it in a relaxed atomic — the hint
+     * must be settable on a const backend from the drain thread.
+     */
+    virtual void queryDeadlineHint(double remainingSeconds) const
+    {
+        (void)remainingSeconds;
+    }
 };
 
 /** Which functional engine answers the queries. */
@@ -229,6 +286,16 @@ class ReferenceAttention final : public AttentionBackend
     std::size_t rows() const override { return key_.rows(); }
     std::size_t dims() const override { return key_.cols(); }
 
+    std::unique_ptr<AttentionBackend> clone() const override;
+    bool serializable() const override { return true; }
+    void serializeState(WireWriter &out) const override;
+    std::size_t compact() override;
+
+    /** Rebuild from a serializeState() payload; nullptr on a
+     *  malformed payload. */
+    static std::unique_ptr<ReferenceAttention>
+    restore(WireReader &in);
+
     const Matrix &key() const { return key_; }
     const Matrix &value() const { return value_; }
 
@@ -265,10 +332,25 @@ class ApproxQuantizedAttention final : public AttentionBackend
     std::size_t rows() const override;
     std::size_t dims() const override;
 
+    std::unique_ptr<AttentionBackend> clone() const override;
+    bool serializable() const override { return true; }
+    void serializeState(WireWriter &out) const override;
+    std::size_t compact() override;
+
+    /** Rebuild both halves from a serializeState() payload; nullptr
+     *  on a malformed payload. */
+    static std::unique_ptr<ApproxQuantizedAttention>
+    restore(const EngineConfig &config, WireReader &in);
+
     const ApproxAttention &selection() const { return *approx_; }
     const QuantizedAttention &datapath() const { return *datapath_; }
 
   private:
+    /** Adopt already-built halves (clone()/restore()). */
+    ApproxQuantizedAttention(
+        std::unique_ptr<ApproxAttention> approx,
+        std::unique_ptr<QuantizedAttention> datapath);
+
     std::unique_ptr<ApproxAttention> approx_;
     std::unique_ptr<QuantizedAttention> datapath_;
 };
@@ -280,6 +362,17 @@ class ApproxQuantizedAttention final : public AttentionBackend
  */
 std::unique_ptr<AttentionBackend> makeBackend(const EngineConfig &config,
                                               Matrix key, Matrix value);
+
+/**
+ * Rebuild a backend of config.kind from a serializeState() payload —
+ * the restore half of the spill tier. The preprocessed state is read
+ * back verbatim (no re-sort, no re-quantization), so the restored
+ * backend is bit-identical in queries to the one serialized. Returns
+ * nullptr when the payload is malformed or inconsistent with
+ * `config`; callers fall back to a cold bind.
+ */
+std::unique_ptr<AttentionBackend>
+deserializeBackend(const EngineConfig &config, WireReader &in);
 
 }  // namespace a3
 

@@ -1,10 +1,12 @@
 #include "attention/quantized.hpp"
 
 #include <numeric>
+#include <type_traits>
 #include <utility>
 
 #include "fixed/value.hpp"
 #include "kernels/kernels.hpp"
+#include "net/wire.hpp"
 #include "util/logging.hpp"
 
 namespace a3 {
@@ -146,6 +148,162 @@ QuantizedAttention::append(const Matrix &keyRows, const Matrix &valueRows)
     formats_ = PipelineFormats::derive(inFmt.intBits, inFmt.fracBits,
                                        boundRows_, dims_);
     Scratch::forThread().reserveTask(boundRows_, dims_);
+}
+
+std::unique_ptr<AttentionBackend>
+QuantizedAttention::clone() const
+{
+    // Member-wise copy: lanes, scales, formats, and the LUT are all
+    // plain values, so the clone is bit-identical in queries.
+    return std::unique_ptr<AttentionBackend>(
+        new QuantizedAttention(*this));
+}
+
+std::size_t
+QuantizedAttention::compact()
+{
+    std::size_t reclaimed = 0;
+    const auto shrink = [&reclaimed](auto &lane) {
+        using Elem = typename std::decay_t<decltype(lane)>::value_type;
+        const std::size_t before = lane.capacity();
+        lane.shrink_to_fit();
+        reclaimed += (before - lane.capacity()) * sizeof(Elem);
+    };
+    shrink(keyQ_);
+    shrink(valueQ_);
+    shrink(keyQ8_);
+    shrink(valueQ8_);
+    shrink(keyQ4_);
+    shrink(valueQ4_);
+    shrink(keyScale_);
+    shrink(valueScale_);
+    return reclaimed;
+}
+
+void
+QuantizedAttention::serializeState(WireWriter &out) const
+{
+    a3Assert(bound_, "serializeState() needs a bound task");
+    out.u64(boundRows_);
+    out.u64(dims_);
+    out.u8(static_cast<std::uint8_t>(packed_));
+    out.floats(keyScale_.data(), keyScale_.size());
+    out.floats(valueScale_.data(), valueScale_.size());
+    switch (packed_) {
+    case PackedKvFormat::Word32:
+        // int32 words travel as their two's-complement bit patterns.
+        out.u32s(reinterpret_cast<const std::uint32_t *>(keyQ_.data()),
+                 keyQ_.size());
+        out.u32s(
+            reinterpret_cast<const std::uint32_t *>(valueQ_.data()),
+            valueQ_.size());
+        break;
+    case PackedKvFormat::Int8:
+        out.blob(reinterpret_cast<const std::uint8_t *>(keyQ8_.data()),
+                 keyQ8_.size());
+        out.blob(
+            reinterpret_cast<const std::uint8_t *>(valueQ8_.data()),
+            valueQ8_.size());
+        break;
+    case PackedKvFormat::Int4:
+        out.blob(keyQ4_.data(), keyQ4_.size());
+        out.blob(valueQ4_.data(), valueQ4_.size());
+        break;
+    case PackedKvFormat::Auto:
+        panic("bound datapath cannot hold an unresolved layout");
+    }
+}
+
+std::unique_ptr<QuantizedAttention>
+QuantizedAttention::restore(const EngineConfig &config, WireReader &in)
+{
+    const std::uint64_t rows = in.u64();
+    const std::uint64_t dims = in.u64();
+    const std::uint8_t packedRaw = in.u8();
+    if (!in.ok() || rows == 0 || dims == 0)
+        return nullptr;
+    const PackedKvFormat expected = resolvePackedKvFormat(
+        config.packedKv, config.intBits, config.fracBits);
+    if (packedRaw != static_cast<std::uint8_t>(expected))
+        return nullptr;
+
+    // The sized constructor re-derives the stage formats and the
+    // exponent LUT — both deterministic functions of the config and
+    // shape, so recomputing them is bit-identical to the original.
+    auto backend = std::make_unique<QuantizedAttention>(
+        config.intBits, config.fracBits,
+        static_cast<std::size_t>(rows),
+        static_cast<std::size_t>(dims));
+    backend->packed_ = expected;
+    in.floats(backend->keyScale_);
+    in.floats(backend->valueScale_);
+
+    const std::size_t n = static_cast<std::size_t>(rows);
+    const std::size_t d = static_cast<std::size_t>(dims);
+    const std::size_t scaleCount =
+        expected == PackedKvFormat::Word32 ? 0 : n;
+    if (!in.ok() || backend->keyScale_.size() != scaleCount ||
+        backend->valueScale_.size() != scaleCount)
+        return nullptr;
+
+    std::size_t laneCount = 0;
+    switch (expected) {
+    case PackedKvFormat::Word32: {
+        std::vector<std::uint32_t> words;
+        in.u32s(words);
+        laneCount = words.size();
+        backend->keyQ_.assign(
+            reinterpret_cast<const std::int32_t *>(words.data()),
+            reinterpret_cast<const std::int32_t *>(words.data()) +
+                words.size());
+        in.u32s(words);
+        if (words.size() != laneCount)
+            return nullptr;
+        backend->valueQ_.assign(
+            reinterpret_cast<const std::int32_t *>(words.data()),
+            reinterpret_cast<const std::int32_t *>(words.data()) +
+                words.size());
+        if (laneCount != n * d)
+            return nullptr;
+        break;
+    }
+    case PackedKvFormat::Int8: {
+        std::vector<std::uint8_t> bytes;
+        in.blob(bytes);
+        laneCount = bytes.size();
+        backend->keyQ8_.assign(
+            reinterpret_cast<const std::int8_t *>(bytes.data()),
+            reinterpret_cast<const std::int8_t *>(bytes.data()) +
+                bytes.size());
+        in.blob(bytes);
+        if (bytes.size() != laneCount)
+            return nullptr;
+        backend->valueQ8_.assign(
+            reinterpret_cast<const std::int8_t *>(bytes.data()),
+            reinterpret_cast<const std::int8_t *>(bytes.data()) +
+                bytes.size());
+        if (laneCount != n * d)
+            return nullptr;
+        break;
+    }
+    case PackedKvFormat::Int4:
+        in.blob(backend->keyQ4_);
+        in.blob(backend->valueQ4_);
+        laneCount = backend->keyQ4_.size();
+        if (backend->valueQ4_.size() != laneCount ||
+            laneCount != n * ((d + 1) / 2))
+            return nullptr;
+        break;
+    case PackedKvFormat::Auto:
+        return nullptr;
+    }
+    if (!in.ok())
+        return nullptr;
+
+    backend->boundRows_ = n;
+    backend->bound_ = true;
+    Scratch::forThread().reserveTask(n, d);
+    return backend;
 }
 
 std::size_t

@@ -146,6 +146,25 @@ class QuantizedAttention final : public AttentionBackend
     /** The exponent lookup table pair. */
     const ExpLut &expLut() const { return lut_; }
 
+    std::unique_ptr<AttentionBackend> clone() const override;
+    bool serializable() const override { return true; }
+
+    /**
+     * The packed lanes and per-row scales verbatim (bound mode only)
+     * — the on-disk image is the in-memory SRAM image, so restore()
+     * skips re-quantization entirely. The formats and exponent LUT
+     * are not serialized: both derive deterministically from
+     * (intBits, fracBits, rows, dims), so restore() recomputes them
+     * bit-identically for a fraction of the image size.
+     */
+    void serializeState(WireWriter &out) const override;
+    std::size_t compact() override;
+
+    /** Rebuild a bound datapath from a serializeState() payload;
+     *  nullptr on a malformed or config-inconsistent payload. */
+    static std::unique_ptr<QuantizedAttention>
+    restore(const EngineConfig &config, WireReader &in);
+
   private:
     /**
      * The pipeline over `rows` of an n x dims_ task. In bound mode

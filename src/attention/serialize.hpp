@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Matrix encode/decode helpers shared by the backend serializers.
+ *
+ * A matrix travels as (rows u64, cols u64, floats) with the float bit
+ * patterns written verbatim (net/wire.hpp), so a decoded matrix is
+ * bit-identical to the encoded one on every architecture — the
+ * property the spill tier's bit-identity contract rests on.
+ */
+
+#ifndef A3_ATTENTION_SERIALIZE_HPP
+#define A3_ATTENTION_SERIALIZE_HPP
+
+#include "net/wire.hpp"
+#include "tensor/matrix.hpp"
+
+namespace a3 {
+
+inline void
+writeMatrix(WireWriter &out, const Matrix &m)
+{
+    out.u64(m.rows());
+    out.u64(m.cols());
+    out.floats(m.data().data(), m.data().size());
+}
+
+/** Decode into `m`; false on a malformed or inconsistent payload. */
+inline bool
+readMatrix(WireReader &in, Matrix &m)
+{
+    const std::uint64_t rows = in.u64();
+    const std::uint64_t cols = in.u64();
+    if (!in.ok() || rows == 0 || cols == 0 ||
+        rows > in.remaining() / sizeof(float) / cols)
+        return false;
+    Matrix decoded(static_cast<std::size_t>(rows),
+                   static_cast<std::size_t>(cols));
+    in.floats(decoded.data());
+    if (!in.ok() || decoded.data().size() != rows * cols)
+        return false;
+    m = std::move(decoded);
+    return true;
+}
+
+}  // namespace a3
+
+#endif  // A3_ATTENTION_SERIALIZE_HPP

@@ -90,4 +90,51 @@ SortedKey::storageBytes() const
     return rows_ * cols_ * (sizeof(float) + sizeof(std::uint32_t));
 }
 
+const std::vector<SortedKeyEntry> &
+SortedKey::columnEntries(std::size_t col) const
+{
+    a3Assert(col < cols_, "sorted-key column out of range");
+    return columns_[col];
+}
+
+SortedKey
+SortedKey::fromColumns(std::size_t rows, std::size_t cols,
+                       std::vector<std::vector<SortedKeyEntry>> columns)
+{
+    a3Assert(columns.size() == cols,
+             "sorted-key column count mismatch: ", columns.size(),
+             " vs ", cols);
+    for (const auto &column : columns)
+        a3Assert(column.size() == rows,
+                 "sorted-key column length mismatch: ", column.size(),
+                 " vs ", rows);
+    SortedKey sk;
+    sk.rows_ = rows;
+    sk.cols_ = cols;
+    sk.columns_ = std::move(columns);
+    return sk;
+}
+
+std::size_t
+SortedKey::capacityBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &column : columns_)
+        bytes += column.capacity() * sizeof(SortedKeyEntry);
+    return bytes;
+}
+
+std::size_t
+SortedKey::compact()
+{
+    std::size_t reclaimed = 0;
+    for (auto &column : columns_) {
+        const std::size_t before = column.capacity();
+        column.shrink_to_fit();
+        reclaimed +=
+            (before - column.capacity()) * sizeof(SortedKeyEntry);
+    }
+    return reclaimed;
+}
+
 }  // namespace a3

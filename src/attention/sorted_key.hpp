@@ -62,6 +62,32 @@ class SortedKey
     /** Size in bytes of the modeled SRAM (value + row id per entry). */
     std::size_t storageBytes() const;
 
+    /** Full sorted order of column `col` (serialization access). */
+    const std::vector<SortedKeyEntry> &
+    columnEntries(std::size_t col) const;
+
+    /**
+     * Adopt pre-sorted columns verbatim — the spill-restore path,
+     * which skips the build() sort entirely. Every column must hold
+     * `rows` entries already in (val, rowId) order; the caller (the
+     * shard-image decoder) validates shape before adopting.
+     */
+    static SortedKey
+    fromColumns(std::size_t rows, std::size_t cols,
+                std::vector<std::vector<SortedKeyEntry>> columns);
+
+    /** Bytes the columns have reserved (> storageBytes() after
+     *  append() growth). */
+    std::size_t capacityBytes() const;
+
+    /**
+     * Release slack capacity left behind by append() growth; returns
+     * the bytes reclaimed. The sorted orders are untouched — the
+     * merged order is already exactly build()'s order (append()'s
+     * contract), so compaction never changes a query result.
+     */
+    std::size_t compact();
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;

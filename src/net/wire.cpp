@@ -1,8 +1,23 @@
 #include "net/wire.hpp"
 
+#include <bit>
 #include <cstring>
 
 namespace a3 {
+
+namespace {
+
+/**
+ * Little-endian hosts can move bulk 4-byte arrays with one memcpy —
+ * the wire format *is* the in-memory layout there. The per-element
+ * paths remain the portable fallback; shard-image restores and large
+ * query frames are the callers that care (multi-megabyte arrays on
+ * the serving hot path).
+ */
+constexpr bool kLittleEndianHost =
+    std::endian::native == std::endian::little;
+
+}  // namespace
 
 std::uint32_t
 fnv1a(const std::uint8_t *data, std::size_t size)
@@ -26,6 +41,11 @@ void
 WireWriter::floats(const float *data, std::size_t count)
 {
     u64(count);
+    if (kLittleEndianHost) {
+        const auto *raw = reinterpret_cast<const std::uint8_t *>(data);
+        buf_.insert(buf_.end(), raw, raw + count * 4);
+        return;
+    }
     buf_.reserve(buf_.size() + count * 4);
     for (std::size_t i = 0; i < count; ++i)
         f32(data[i]);
@@ -35,9 +55,21 @@ void
 WireWriter::u32s(const std::uint32_t *data, std::size_t count)
 {
     u64(count);
+    if (kLittleEndianHost) {
+        const auto *raw = reinterpret_cast<const std::uint8_t *>(data);
+        buf_.insert(buf_.end(), raw, raw + count * 4);
+        return;
+    }
     buf_.reserve(buf_.size() + count * 4);
     for (std::size_t i = 0; i < count; ++i)
         u32(data[i]);
+}
+
+void
+WireWriter::blob(const std::uint8_t *data, std::size_t count)
+{
+    u64(count);
+    buf_.insert(buf_.end(), data, data + count);
 }
 
 std::uint8_t
@@ -101,6 +133,12 @@ WireReader::floats(std::vector<float> &out)
         return;
     }
     out.resize(static_cast<std::size_t>(count));
+    if (kLittleEndianHost) {
+        std::memcpy(out.data(), data_ + pos_,
+                    static_cast<std::size_t>(count) * 4);
+        pos_ += static_cast<std::size_t>(count) * 4;
+        return;
+    }
     for (auto &v : out)
         v = f32();
 }
@@ -115,8 +153,27 @@ WireReader::u32s(std::vector<std::uint32_t> &out)
         return;
     }
     out.resize(static_cast<std::size_t>(count));
+    if (kLittleEndianHost) {
+        std::memcpy(out.data(), data_ + pos_,
+                    static_cast<std::size_t>(count) * 4);
+        pos_ += static_cast<std::size_t>(count) * 4;
+        return;
+    }
     for (auto &v : out)
         v = u32();
+}
+
+void
+WireReader::blob(std::vector<std::uint8_t> &out)
+{
+    const std::uint64_t count = u64();
+    if (!ok_ || count > remaining()) {
+        ok_ = false;
+        out.clear();
+        return;
+    }
+    out.assign(data_ + pos_, data_ + pos_ + count);
+    pos_ += static_cast<std::size_t>(count);
 }
 
 }  // namespace a3

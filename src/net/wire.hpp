@@ -81,6 +81,13 @@ class WireWriter
     /** Length-prefixed (u64) u32 array. */
     void u32s(const std::uint32_t *data, std::size_t count);
 
+    /**
+     * Length-prefixed (u64) raw byte array — the packed K/V lanes of
+     * a shard image travel verbatim, so the on-disk image is the
+     * in-memory image.
+     */
+    void blob(const std::uint8_t *data, std::size_t count);
+
     const std::vector<std::uint8_t> &bytes() const { return buf_; }
     std::vector<std::uint8_t> take() { return std::move(buf_); }
 
@@ -117,6 +124,9 @@ class WireReader
 
     /** Length-prefixed u32 array into `out` (resized). */
     void u32s(std::vector<std::uint32_t> &out);
+
+    /** Length-prefixed raw byte array into `out` (resized). */
+    void blob(std::vector<std::uint8_t> &out);
 
     /** Every read so far was in bounds. */
     bool ok() const { return ok_; }

@@ -53,6 +53,21 @@ BatchScheduler::submit(const std::string &session, Vector query)
 }
 
 AdmissionOutcome
+BatchScheduler::submit(const SessionHandle &session, Vector query)
+{
+    return submit(session, std::move(query), SubmitOptions{});
+}
+
+AdmissionOutcome
+BatchScheduler::submit(const SessionHandle &session, Vector query,
+                       const SubmitOptions &options)
+{
+    a3Assert(session.valid(),
+             "cannot submit against an invalid session handle");
+    return submit(session.id(), std::move(query), options);
+}
+
+AdmissionOutcome
 BatchScheduler::submit(const std::string &session, Vector query,
                        const SubmitOptions &options)
 {
@@ -404,6 +419,8 @@ BatchScheduler::drain()
     std::vector<std::shared_ptr<AttentionBackend>> pinned;
     std::vector<std::string> sessionOf;
     std::vector<std::vector<std::uint64_t>> ticketsOf;
+    /** Minimum remaining deadline budget per group; 0 = none. */
+    std::vector<double> groupBudget;
     std::unordered_map<std::string, std::size_t> groupIndex;
     for (std::size_t r = 0; r < batch.size(); ++r) {
         const std::string &session = batchSession[r];
@@ -420,6 +437,7 @@ BatchScheduler::drain()
                 g = sessionOf.size();
                 sessionOf.push_back(session);
                 ticketsOf.emplace_back();
+                groupBudget.push_back(0.0);
                 groups.push_back({backend.get(), {}});
                 pinned.push_back(std::move(backend));
             }
@@ -430,8 +448,32 @@ BatchScheduler::drain()
                                    ServingError::SessionUnbound});
             continue;
         }
+        if (batch[r].deadlineSeconds > 0.0) {
+            // Expired requests were shed at claim time, so the
+            // remaining budget is positive here.
+            const double remaining =
+                batch[r].deadlineSeconds -
+                (claimSeconds - batch[r].submitSeconds);
+            if (remaining > 0.0 &&
+                (groupBudget[g] == 0.0 || remaining < groupBudget[g]))
+                groupBudget[g] = remaining;
+        }
         groups[g].queries.push_back(std::move(batch[r].query));
         ticketsOf[g].push_back(batch[r].ticket);
+    }
+
+    // Publish each group's tightest remaining budget to its backend
+    // before the pass: a remote-coordinated session caps its
+    // per-query worker waits at the request's actual remaining time
+    // instead of the coordinator's static queryDeadlineSeconds, so a
+    // request that already spent most of its budget queueing cannot
+    // stall the drain for the full static deadline on a sick worker.
+    std::size_t hintedGroups = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (groupBudget[g] > 0.0) {
+            groups[g].backend->queryDeadlineHint(groupBudget[g]);
+            ++hintedGroups;
+        }
     }
 
     // Local results: each drain owns its buffers, so concurrent
@@ -477,6 +519,7 @@ BatchScheduler::drain()
         counters_.answered += completions.size();
         counters_.groups += groups.size();
         counters_.workUnits += passUnits;
+        counters_.deadlineHintedGroups += hintedGroups;
         // Queue wait is measured submit-to-claim; a submit that raced
         // in between our clock read and the claim lock can look
         // sub-zero by the race window, so clamp at 0.

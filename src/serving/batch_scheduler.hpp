@@ -173,6 +173,13 @@ struct BatchSchedulerStats
      *  factor the engine scheduled at. */
     std::uint64_t workUnits = 0;
 
+    /** Request groups that carried a deadline into the engine pass:
+     *  before each pass, every group holding >= 1 deadline request
+     *  gets its minimum remaining budget published to the backend
+     *  via queryDeadlineHint() (remote coordinators tighten their
+     *  per-query waits to it instead of the static config). */
+    std::uint64_t deadlineHintedGroups = 0;
+
     /** Total shed submits; submitted - rejected() were admitted. */
     std::uint64_t rejected() const
     {
@@ -248,6 +255,18 @@ class BatchScheduler
      * default-constructed options reproduce the plain overload.
      */
     AdmissionOutcome submit(const std::string &session, Vector query,
+                            const SubmitOptions &options);
+
+    /**
+     * Typed submits against a SessionHandle from
+     * SessionCache::bindSession()/lookupSession() — the preferred
+     * surface: a handle names a *binding*, not just an id, so the
+     * request provably targets a session the caller has seen bound.
+     * An invalid (default-constructed) handle is rejected like an
+     * unbound session would be at drain time.
+     */
+    AdmissionOutcome submit(const SessionHandle &session, Vector query);
+    AdmissionOutcome submit(const SessionHandle &session, Vector query,
                             const SubmitOptions &options);
 
     /**

@@ -192,6 +192,27 @@ RemoteShardCoordinator::dims() const
     return dims_;
 }
 
+void
+RemoteShardCoordinator::queryDeadlineHint(
+    double remainingSeconds) const
+{
+    deadlineHintSeconds_.store(
+        remainingSeconds > 0.0 ? remainingSeconds : 0.0,
+        std::memory_order_relaxed);
+}
+
+double
+RemoteShardCoordinator::effectiveQueryDeadlineLocked() const
+{
+    const double hint =
+        deadlineHintSeconds_.load(std::memory_order_relaxed);
+    if (hint <= 0.0)
+        return config_.queryDeadlineSeconds;
+    // The hint only ever tightens: a generous request budget must
+    // not extend waits past the operator-configured deadline.
+    return std::min(hint, config_.queryDeadlineSeconds);
+}
+
 std::size_t
 RemoteShardCoordinator::memoryBytes() const
 {
@@ -589,7 +610,7 @@ RemoteShardCoordinator::queryOnce(std::size_t w,
         return status;
     Frame reply;
     status = awaitReply(w, requestId,
-                        config_.queryDeadlineSeconds, reply);
+                        effectiveQueryDeadlineLocked(), reply);
     if (!status.ok())
         return status;
     status =
@@ -739,7 +760,7 @@ RemoteShardCoordinator::queryAllShards(const Vector &query,
             Frame reply;
             NetStatus status = awaitReply(
                 pending_[s].worker, pending_[s].requestId,
-                config_.queryDeadlineSeconds, reply);
+                effectiveQueryDeadlineLocked(), reply);
             if (status.ok())
                 status = decodeShardReply(reply, wantFull,
                                           shard.id, partial,

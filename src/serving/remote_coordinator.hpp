@@ -50,6 +50,7 @@
 #ifndef A3_SERVING_REMOTE_COORDINATOR_HPP
 #define A3_SERVING_REMOTE_COORDINATOR_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -173,6 +174,18 @@ class RemoteShardCoordinator final : public AttentionBackend
     std::size_t dims() const override;
 
     /**
+     * Per-request deadline budget from the scheduler: subsequent
+     * query waits use min(hint, queryDeadlineSeconds) instead of the
+     * static config deadline, so a request with little budget left
+     * stops waiting on a sick worker sooner and escalates down the
+     * recovery ladder. Advisory and sticky until the next hint; only
+     * the two per-query reply waits tighten — handshake, bind, and
+     * heartbeat waits keep their configured deadlines (they protect
+     * binding durability, not one request's latency).
+     */
+    void queryDeadlineHint(double remainingSeconds) const override;
+
+    /**
      * Probe every non-dead worker and apply the health transitions,
      * then re-replicate any under-replicated shard onto survivors.
      * Driven by the background thread when heartbeatPeriodSeconds is
@@ -270,7 +283,15 @@ class RemoteShardCoordinator final : public AttentionBackend
     Matrix value_;
     std::size_t dims_ = 0;
 
+    /** Effective deadline for one query reply wait (see
+     *  queryDeadlineHint). */
+    double effectiveQueryDeadlineLocked() const;
+
     mutable std::mutex mu_;
+    /** Latest scheduler hint in seconds; 0 = none (use the static
+     *  config deadline). Relaxed atomic: written from the drain
+     *  thread through the const backend pointer, read under mu_. */
+    mutable std::atomic<double> deadlineHintSeconds_{0.0};
     mutable std::vector<Worker> workers_;
     mutable std::vector<Shard> shards_;
     mutable std::uint64_t nextRequestId_ = 1;

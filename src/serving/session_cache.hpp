@@ -12,6 +12,24 @@
  * configured byte budget overflows, and hit/miss/eviction counters
  * make the reuse measurable.
  *
+ * The typed session API (PR 9): bindSession() / appendSession() /
+ * lookupSession() operate on SessionHandle and return BindOutcome /
+ * AppendOutcome result types (mirroring the scheduler's
+ * AdmissionOutcome), replacing the bare-pointer + bool surface that
+ * made callers invent their own error conventions. The raw find() /
+ * bind() / insert() / append() entry points remain for existing
+ * callers but are deprecated — new code should use the typed surface.
+ *
+ * Cross-session sharing: when constructed with a SessionCacheConfig
+ * that carries shardRows and a ShardStore, sessions bind through
+ * ShardedBackend's store-backed mode and identical frozen shards are
+ * shared across sessions. The cache then charges each distinct
+ * ShardHandle against the byte budget ONCE no matter how many bound
+ * sessions reference it (bytesInUse() is charged bytes, not the sum
+ * of per-session logical bytes), and eviction releases only the
+ * evicted session's references — a shard shared with a live session
+ * survives, so eviction never invalidates other sessions' results.
+ *
  * Thread safety: every member function takes an internal lock, so
  * concurrent find()/bind()/erase() calls are safe. The backends handed
  * out are only thread-compatible for const queries; append() must not
@@ -28,15 +46,20 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "attention/backend.hpp"
+#include "serving/shard_store.hpp"
 
 namespace a3 {
 
 /** Monotonic usage counters of one SessionCache. */
 struct SessionCacheStats
 {
-    /** Lookups served from an already-bound backend (no preprocessing). */
+    /**
+     * Lookups served from an already-bound backend (no
+     * preprocessing).
+     */
     std::uint64_t hits = 0;
 
     /** Lookups that found no bound backend. */
@@ -49,34 +72,207 @@ struct SessionCacheStats
     std::uint64_t appends = 0;
 };
 
+/** Construction-time knobs of one SessionCache. */
+struct SessionCacheConfig
+{
+    /**
+     * Bytes of backend state the cache may retain; 0 means
+     * unlimited. Charged bytes: a shard shared by k bound sessions
+     * counts once, not k times. The most recently bound session is
+     * never evicted, even when it alone exceeds the budget —
+     * evicting it would make the bind that just paid for it useless.
+     */
+    std::size_t byteBudget = 0;
+
+    /** Engine used by the bindSession() overload without a config. */
+    EngineConfig engine;
+
+    /**
+     * Shard capacity for bindSession() backends; 0 binds unsharded
+     * backends (the pre-PR-9 behavior).
+     */
+    std::size_t shardRows = 0;
+
+    /**
+     * Cross-session shard registry (non-owning; must outlive the
+     * cache). Requires shardRows > 0. nullptr disables sharing —
+     * sessions are fully private.
+     */
+    ShardStore *store = nullptr;
+};
+
+/**
+ * Typed reference to one bound session: the id plus a weak reference
+ * to the backend bound when the handle was issued. A handle goes
+ * stale when its session is evicted or re-bound; stale handles fail
+ * queries/appends explicitly (backend() == nullptr, AppendOutcome
+ * SessionUnbound) instead of silently touching a different binding.
+ */
+class SessionHandle
+{
+  public:
+    SessionHandle() = default;
+
+    const std::string &id() const { return id_; }
+
+    /** False for default-constructed (never-issued) handles. */
+    bool valid() const { return !id_.empty(); }
+
+    /**
+     * The backend this handle was issued for, or nullptr once the
+     * binding is gone (evicted / replaced / cache destroyed).
+     */
+    std::shared_ptr<AttentionBackend> backend() const
+    {
+        return backend_.lock();
+    }
+
+  private:
+    friend class SessionCache;
+
+    SessionHandle(std::string id,
+                  const std::shared_ptr<AttentionBackend> &backend)
+        : id_(std::move(id)), backend_(backend)
+    {
+    }
+
+    std::string id_;
+    std::weak_ptr<AttentionBackend> backend_;
+};
+
+/** How a bindSession() call was satisfied. */
+enum class BindStatus
+{
+    AlreadyBound,   ///< session was bound; matrices ignored
+    BoundFresh,     ///< every shard preprocessed from scratch
+    BoundShared,    ///< >= 1 shard deduped against a live session
+    BoundRestored,  ///< >= 1 shard restored from spill (none shared)
+};
+
+/** Stable lowercase name ("already_bound", ...). */
+const char *bindStatusName(BindStatus status);
+
+/** Result of SessionCache::bindSession(). */
+struct BindOutcome
+{
+    BindStatus status = BindStatus::BoundFresh;
+
+    /** Handle to the bound session (always valid on return). */
+    SessionHandle handle;
+
+    /** Shards backing the session (1 for unsharded binds). */
+    std::size_t shardCount = 0;
+
+    /** Shards deduped against live sessions at bind time. */
+    std::size_t sharedShards = 0;
+
+    /** Shards restored from the spill tier at bind time. */
+    std::size_t restoredShards = 0;
+
+    /** The session's full memoryBytes() footprint. */
+    std::size_t logicalBytes = 0;
+
+    /** Bytes this session actually charges the cache (shared shards
+     *  another bound session already charged cost 0 here). */
+    std::size_t chargedBytes = 0;
+
+    bool bound() const { return handle.valid(); }
+};
+
+/** How an appendSession() call ended. */
+enum class AppendStatus
+{
+    Appended,        ///< rows appended, budget re-charged
+    SessionUnbound,  ///< stale handle: session evicted or re-bound
+};
+
+/** Stable lowercase name ("appended", ...). */
+const char *appendStatusName(AppendStatus status);
+
+/** Result of SessionCache::appendSession(). */
+struct AppendOutcome
+{
+    AppendStatus status = AppendStatus::SessionUnbound;
+
+    /** Rows actually appended (0 on SessionUnbound). */
+    std::size_t rowsAppended = 0;
+
+    /** Shards after the append (tail freezes may have grown it). */
+    std::size_t shardCount = 0;
+
+    /** The session's memoryBytes() after the append. */
+    std::size_t logicalBytes = 0;
+
+    /** Bytes the session charges the cache after the append. */
+    std::size_t chargedBytes = 0;
+
+    bool ok() const { return status == AppendStatus::Appended; }
+};
+
 /** LRU map from session id to a preprocessed, queryable backend. */
 class SessionCache
 {
   public:
     /**
-     * @param byteBudget bytes of backend state (memoryBytes() sums)
-     *        the cache may retain; 0 means unlimited. The most
-     *        recently bound session is never evicted, even when it
-     *        alone exceeds the budget — evicting it would make the
-     *        bind that just paid for it useless.
+     * Byte-budget-only constructor (legacy surface): unsharded
+     * bindSession() backends, no sharing.
      */
     explicit SessionCache(std::size_t byteBudget = 0);
+
+    /** Full configuration, including sharing via config.store. */
+    explicit SessionCache(SessionCacheConfig config);
+
+    // -- Typed session API ------------------------------------------
+
+    /**
+     * Bind `session` to (key, value) under `config`, or report the
+     * existing binding (AlreadyBound — the matrices are ignored and
+     * no preprocessing runs). With cache-level shardRows > 0 the
+     * backend is sharded; with a ShardStore configured, full shards
+     * dedup against live sessions and the spill tier, and the
+     * outcome reports how many shards each tier served.
+     */
+    BindOutcome bindSession(const std::string &session,
+                            const EngineConfig &config, Matrix key,
+                            Matrix value);
+
+    /** bindSession() under the cache-level default engine config. */
+    BindOutcome bindSession(const std::string &session, Matrix key,
+                            Matrix value);
+
+    /**
+     * Extend the session behind `handle`. Fails with SessionUnbound
+     * when the handle is stale — its session was evicted or re-bound
+     * since issue — so an append can never land on a binding the
+     * caller has not seen. No queries may be in flight against the
+     * session (see AttentionBackend::append).
+     */
+    AppendOutcome appendSession(const SessionHandle &handle,
+                                const Matrix &keyRows,
+                                const Matrix &valueRows);
+
+    /**
+     * Handle to `session`'s current binding; invalid handle on a
+     * miss. Counts hits/misses and refreshes the LRU like find().
+     */
+    SessionHandle lookupSession(const std::string &session);
+
+    // -- Raw surface (deprecated: prefer the typed API above) -------
 
     /**
      * Backend bound to `session`, or nullptr. A hit refreshes the
      * session's LRU position and counts in stats().hits; a miss
      * counts in stats().misses.
+     * @deprecated Use lookupSession(); kept for existing callers.
      */
     std::shared_ptr<AttentionBackend> find(const std::string &session);
 
     /**
      * Return the backend bound to `session`, constructing one from
-     * (config, key, value) through makeBackend() on a miss. On a hit
-     * the matrices are ignored and no preprocessing runs — the
-     * skipped work is exactly what stats().hits counts. The matrices
-     * are taken by value, so the call site still pays for building
-     * (or copying) them even on a hit: hot paths should try find()
-     * first and fall back to bind() only on nullptr.
+     * (config, key, value) through makeBackend() on a miss — always
+     * unsharded, ignoring the cache-level shardRows/store. On a hit
+     * the matrices are ignored and no preprocessing runs.
+     * @deprecated Use bindSession(); kept for existing callers.
      */
     std::shared_ptr<AttentionBackend> bind(const std::string &session,
                                            const EngineConfig &config,
@@ -93,20 +289,21 @@ class SessionCache
     /**
      * Extend a bound session's context through the backend's
      * incremental append() and re-charge its bytes against the
-     * budget. Returns false when the session is not bound (it may
-     * have been evicted concurrently — the caller re-binds and
-     * retries); no queries may be in flight against the session.
+     * budget. Returns false when the session is not bound.
+     * @deprecated Use appendSession(); a bare bool cannot distinguish
+     * eviction from a wrong id, and re-binding raced appends was the
+     * bug class the typed surface removes.
      */
     bool append(const std::string &session, const Matrix &keyRows,
                 const Matrix &valueRows);
 
     /**
-     * Bytes of backend state bound to `session` (its cached
-     * memoryBytes()), or 0 when unbound — the admission-control cost
-     * estimate. Unlike find(), this touches neither the LRU order nor
-     * the hit/miss counters: probing a session's cost to decide
-     * admission must not make it look recently used or skew the
-     * cache's reuse statistics.
+     * Bytes `session` charges the cache (shared shards another bound
+     * session already charged are excluded), or 0 when unbound — the
+     * admission-control cost estimate. Unlike find(), this touches
+     * neither the LRU order nor the hit/miss counters: probing a
+     * session's cost to decide admission must not make it look
+     * recently used or skew the cache's reuse statistics.
      */
     std::size_t peekBytes(const std::string &session) const;
 
@@ -119,11 +316,15 @@ class SessionCache
     /** Sessions currently bound. */
     std::size_t sessionCount() const;
 
-    /** Sum of memoryBytes() over the bound backends. */
+    /** Charged bytes over the bound backends (shared shards counted
+     *  once across sessions). */
     std::size_t bytesInUse() const;
 
     /** Configured budget; 0 means unlimited. */
-    std::size_t byteBudget() const { return byteBudget_; }
+    std::size_t byteBudget() const { return config_.byteBudget; }
+
+    /** Construction-time knobs. */
+    const SessionCacheConfig &config() const { return config_; }
 
     /** Snapshot of the usage counters. */
     SessionCacheStats stats() const;
@@ -139,8 +340,18 @@ class SessionCache
     struct Entry
     {
         std::shared_ptr<AttentionBackend> backend;
+        /** Bytes this entry charges the budget (see chargeLocked). */
         std::size_t bytes = 0;
+        /** Shard handles snapshot backing the charge refcounts. */
+        std::vector<std::shared_ptr<ShardHandle>> handles;
         std::list<std::string>::iterator lruPos;
+    };
+
+    /** Per-distinct-handle charge refcount across bound sessions. */
+    struct HandleCharge
+    {
+        std::size_t bytes = 0;
+        std::size_t refs = 0;
     };
 
     /** Move `session` (which must exist) to the LRU front. */
@@ -149,16 +360,28 @@ class SessionCache
     /** Evict LRU sessions until the budget holds, sparing `keep`. */
     void enforceBudgetLocked(const std::string &keep);
 
+    /**
+     * Charge `entry`'s backend against the budget: unsharded
+     * backends charge memoryBytes(); sharded backends charge each
+     * distinct ShardHandle once across all bound sessions (refs in
+     * charges_). Fills entry.bytes/handles.
+     */
+    void chargeLocked(Entry &entry);
+
+    /** Undo chargeLocked (eviction, replacement, pre-append). */
+    void releaseLocked(Entry &entry);
+
     std::shared_ptr<AttentionBackend>
     insertLocked(const std::string &session,
                  std::shared_ptr<AttentionBackend> backend);
 
     mutable std::mutex mutex_;
-    std::size_t byteBudget_ = 0;
+    SessionCacheConfig config_;
     std::size_t bytesInUse_ = 0;
     /** Most recently used session at the front. */
     std::list<std::string> lru_;
     std::unordered_map<std::string, Entry> entries_;
+    std::unordered_map<const ShardHandle *, HandleCharge> charges_;
     SessionCacheStats stats_;
 };
 

@@ -21,28 +21,61 @@ ShardedBackend::ShardedBackend(const EngineConfig &inner, Matrix key,
              "attention task must be non-empty");
     dims_ = key.cols();
 
-    // Row-contiguous, size-balanced partition (the layout contract
-    // shared with RemoteShardCoordinator via balancedShardSizes).
-    // Balanced sizes never exceed shardRows, so append() capacity
-    // math stays valid.
-    const std::vector<std::size_t> sizes =
-        balancedShardSizes(key.rows(), config_.shardRows);
+    if (config_.store == nullptr) {
+        // Legacy store-less layout: row-contiguous, size-balanced
+        // partition (the layout contract shared with
+        // RemoteShardCoordinator via balancedShardSizes). Balanced
+        // sizes never exceed shardRows, so append() capacity math
+        // stays valid. Private handles: no hashing, no sharing.
+        const std::vector<std::size_t> sizes =
+            balancedShardSizes(key.rows(), config_.shardRows);
+        std::size_t offset = 0;
+        shards_.reserve(sizes.size());
+        offsets_.reserve(sizes.size());
+        for (const std::size_t take : sizes) {
+            shards_.push_back(ShardHandle::bindPrivate(
+                inner_, key, value, offset, take));
+            offsets_.push_back(offset);
+            offset += take;
+        }
+        return;
+    }
+
+    // Store-backed: prefix-aligned partition. Shard boundaries are a
+    // function of absolute row position alone (multiples of
+    // shardRows), so two sessions extending the same document prefix
+    // slice it into byte-identical full shards — the precondition for
+    // content-addressed sharing. Full shards resolve through the
+    // store; the remainder (possibly empty) becomes the private
+    // mutable tail.
+    const std::size_t n = key.rows();
+    const std::size_t fullShards = n / config_.shardRows;
+    const std::size_t remainder = n % config_.shardRows;
+    shards_.reserve(fullShards + (remainder > 0 ? 1 : 0));
+    offsets_.reserve(shards_.capacity());
     std::size_t offset = 0;
-    shards_.reserve(sizes.size());
-    offsets_.reserve(sizes.size());
-    for (const std::size_t take : sizes) {
-        shards_.push_back(makeBackend(inner_,
-                                      key.rowSlice(offset, take),
-                                      value.rowSlice(offset, take)));
+    for (std::size_t s = 0; s < fullShards; ++s) {
+        ShardSource source = ShardSource::ColdBound;
+        shards_.push_back(config_.store->acquire(
+            inner_, key, value, offset, config_.shardRows, &source));
+        if (source == ShardSource::LiveShared)
+            ++bindShared_;
+        else if (source == ShardSource::SpillRestored)
+            ++bindRestored_;
         offsets_.push_back(offset);
-        offset += take;
+        offset += config_.shardRows;
+    }
+    if (remainder > 0 || fullShards == 0) {
+        shards_.push_back(ShardHandle::bindTail(inner_, key, value,
+                                                offset, remainder));
+        offsets_.push_back(offset);
     }
 }
 
 std::string
 ShardedBackend::name() const
 {
-    return "sharded(" + shards_.front()->name() + ")";
+    return "sharded(" + shards_.front()->backend().name() + ")";
 }
 
 std::size_t
@@ -56,7 +89,7 @@ ShardedBackend::memoryBytes() const
 {
     std::size_t total = 0;
     for (const auto &shard : shards_)
-        total += shard->memoryBytes();
+        total += shard->bytes();
     return total;
 }
 
@@ -65,7 +98,15 @@ ShardedBackend::shard(std::size_t s) const
 {
     a3Assert(s < shards_.size(), "shard index ", s, " out of ",
              shards_.size());
-    return *shards_[s];
+    return shards_[s]->backend();
+}
+
+const std::shared_ptr<ShardHandle> &
+ShardedBackend::shardHandle(std::size_t s) const
+{
+    a3Assert(s < shards_.size(), "shard index ", s, " out of ",
+             shards_.size());
+    return shards_[s];
 }
 
 std::size_t
@@ -82,7 +123,7 @@ ShardedBackend::computePartials(
 {
     partials.resize(shards_.size());
     for (std::size_t s = 0; s < shards_.size(); ++s)
-        shards_[s]->runPartialInto(query, partials[s]);
+        shards_[s]->backend().runPartialInto(query, partials[s]);
 }
 
 std::size_t
@@ -100,7 +141,7 @@ ShardedBackend::runUnitPartialInto(std::size_t unit,
 {
     a3Assert(unit < shards_.size(), "work unit ", unit, " out of ",
              shards_.size());
-    shards_[unit]->runPartialInto(query, out);
+    shards_[unit]->backend().runPartialInto(query, out);
 }
 
 void
@@ -138,7 +179,7 @@ ShardedBackend::runInto(const Vector &query, AttentionResult &out) const
     // whose partial roundtrip is not bit-tight — bit-identical to an
     // unsharded backend.
     if (shards_.size() == 1) {
-        shards_.front()->runInto(query, out);
+        shards_.front()->backend().runInto(query, out);
         return;
     }
     thread_local PartialResult merged;
@@ -151,7 +192,7 @@ ShardedBackend::runPartialInto(const Vector &query,
                                PartialResult &out) const
 {
     if (shards_.size() == 1) {
-        shards_.front()->runPartialInto(query, out);
+        shards_.front()->backend().runPartialInto(query, out);
         return;
     }
     // Per-thread partial slots keep the steady-state query path
@@ -168,6 +209,23 @@ ShardedBackend::runPartialInto(const Vector &query,
 }
 
 void
+ShardedBackend::queryDeadlineHint(double remainingSeconds) const
+{
+    for (const auto &shard : shards_)
+        shard->backend().queryDeadlineHint(remainingSeconds);
+}
+
+void
+ShardedBackend::freezeTail()
+{
+    std::shared_ptr<ShardHandle> &tail = shards_.back();
+    tail->freeze();
+    // The store may hand back another session's identical shard; the
+    // swap releases ours and the sessions converge on one copy.
+    tail = config_.store->adoptFrozen(std::move(tail));
+}
+
+void
 ShardedBackend::append(const Matrix &keyRows, const Matrix &valueRows)
 {
     a3Assert(keyRows.rows() == valueRows.rows() &&
@@ -176,27 +234,38 @@ ShardedBackend::append(const Matrix &keyRows, const Matrix &valueRows)
     a3Assert(keyRows.cols() == dims_,
              "appended rows must match the task dimension");
 
+    const bool storeBacked = config_.store != nullptr;
     const std::size_t total = keyRows.rows();
     std::size_t consumed = 0;
     while (consumed < total) {
-        AttentionBackend &last = *shards_.back();
+        ShardHandle &last = *shards_.back();
         const std::size_t lastRows = last.rows();
-        if (lastRows < config_.shardRows) {
-            // Fill the last non-full shard to capacity first.
+        if (lastRows < config_.shardRows && !last.frozen()) {
+            // Fill the mutable tail to capacity first.
             const std::size_t take = std::min(
                 config_.shardRows - lastRows, total - consumed);
-            last.append(keyRows.rowSlice(consumed, take),
-                        valueRows.rowSlice(consumed, take));
+            last.appendRows(keyRows.rowSlice(consumed, take),
+                            valueRows.rowSlice(consumed, take));
             consumed += take;
+            if (storeBacked && last.rows() == config_.shardRows)
+                freezeTail();
         } else {
-            // Open a new shard for the overflow.
+            // Open a new tail for the overflow. Store-less mode
+            // never freezes, so a full private tail just stays full.
             const std::size_t take =
                 std::min(config_.shardRows, total - consumed);
-            offsets_.push_back(offsets_.back() + lastRows);
-            shards_.push_back(makeBackend(
-                inner_, keyRows.rowSlice(consumed, take),
-                valueRows.rowSlice(consumed, take)));
+            offsets_.push_back(offsets_.back() +
+                               shards_.back()->rows());
+            shards_.push_back(
+                storeBacked
+                    ? ShardHandle::bindTail(inner_, keyRows,
+                                            valueRows, consumed, take)
+                    : ShardHandle::bindPrivate(inner_, keyRows,
+                                               valueRows, consumed,
+                                               take));
             consumed += take;
+            if (storeBacked && take == config_.shardRows)
+                freezeTail();
         }
     }
 }

@@ -5,11 +5,27 @@
  * One backend/engine task caps what a session can hold: the sorted
  * key, the quantized lanes, and every per-query pass are sized by the
  * task's row count. ShardedBackend lifts that cap by partitioning a
- * task's key/value rows into S row-contiguous, size-balanced shards,
- * binding an inner backend per shard (any of the four kinds via
- * makeBackend), fanning queries out across the shards, and merging
- * the per-shard softmax partials with the numerically stable
- * log-sum-exp combine (see PartialResult for the decomposition).
+ * task's key/value rows into S row-contiguous shards, binding an
+ * inner backend per shard (any of the four kinds via makeBackend),
+ * fanning queries out across the shards, and merging the per-shard
+ * softmax partials with the numerically stable log-sum-exp combine
+ * (see PartialResult for the decomposition).
+ *
+ * Since PR 9 the composite no longer owns its shards: each shard is a
+ * refcounted ShardHandle (shard_store.hpp). Two modes:
+ *
+ *  - Store-less (ShardedConfig::store == nullptr): the legacy layout
+ *    — size-balanced partition, private untracked handles, behavior
+ *    bit-identical to the owning implementation.
+ *  - Store-backed: the partition is *prefix-aligned* — floor(n /
+ *    shardRows) full shards plus a remainder tail — so a shard's
+ *    identity depends only on its absolute row slice and the binding
+ *    config, never on the total session length. Full shards are
+ *    acquired through the ShardStore (deduped against live sessions,
+ *    restored from spill, or cold-bound); only the mutable tail is
+ *    private to this session. When append() fills the tail it is
+ *    frozen (compacted + content-addressed), adopted into the store,
+ *    and a new tail opens — copy-on-append touches exactly one shard.
  *
  * Parallelism comes from above, not from a borrowed pool: the
  * backend exposes its shards through the AttentionBackend work-unit
@@ -28,6 +44,10 @@
  *    after the fan-out completes, so results are bit-identical
  *    between serial and engine-parallel fan-out and across thread
  *    counts (the exact-match mode: fixed merge order).
+ *  - Shared, spill-restored, and cold-bound shards produce
+ *    bit-identical partials (preprocessing is deterministic and the
+ *    spill image round-trips state verbatim), so store-backed
+ *    results never depend on which tier served a shard.
  *  - Reference shards match the unsharded reference within a small
  *    ULP bound (each weight picks up one exp(m_s - M) scaling and
  *    the value accumulation is reassociated at shard boundaries);
@@ -38,8 +58,9 @@
  * ShardedBackend implements AttentionBackend, so the serving tier —
  * SessionCache byte accounting, BatchScheduler coalescing, the
  * batched AttentionEngine — handles sharded sessions unchanged:
- * memoryBytes() aggregates the shards and append() routes new rows to
- * the last non-full shard or opens a new one.
+ * memoryBytes() aggregates the shards (logical bytes; the shared-once
+ * accounting lives in SessionCache, which sees the handles) and
+ * append() routes new rows to the mutable tail.
  */
 
 #ifndef A3_SERVING_SHARDED_BACKEND_HPP
@@ -52,6 +73,7 @@
 
 #include "attention/backend.hpp"
 #include "attention/types.hpp"
+#include "serving/shard_store.hpp"
 #include "tensor/matrix.hpp"
 
 namespace a3 {
@@ -61,20 +83,29 @@ struct ShardedConfig
 {
     /**
      * Row capacity of one shard (> 0). Binding n rows creates
-     * ceil(n / shardRows) shards with the rows balanced across them;
-     * append() fills the last shard to this capacity before opening
-     * another.
+     * ceil(n / shardRows) shards; append() fills the tail shard to
+     * this capacity before opening another.
      */
     std::size_t shardRows = 4096;
+
+    /**
+     * Cross-session shard registry; nullptr keeps the legacy
+     * store-less behavior (balanced partition, private shards).
+     * Non-owning — the store must outlive every backend bound
+     * against it.
+     */
+    ShardStore *store = nullptr;
 };
 
-/** Row-sharded composite over per-shard inner backends. */
+/** Row-sharded composite over refcounted shard handles. */
 class ShardedBackend final : public AttentionBackend
 {
   public:
     /**
-     * Partition (key, value) into ceil(n / config.shardRows) shards
-     * and bind an inner backend per shard through makeBackend(inner).
+     * Partition (key, value) into ceil(n / config.shardRows) shards.
+     * Store-less: size-balanced slices, private handles. Store-backed:
+     * prefix-aligned slices with full shards resolved through the
+     * store (live -> spill -> cold) and a private mutable tail.
      */
     ShardedBackend(const EngineConfig &inner, Matrix key, Matrix value,
                    ShardedConfig config);
@@ -116,14 +147,24 @@ class ShardedBackend final : public AttentionBackend
                         PartialResult &out) const override;
 
     /**
-     * Route appended rows to the last shard until it reaches
-     * shardRows capacity, then open new shard(s) for the remainder.
-     * Global row ids keep ascending across the shard boundary.
+     * Route appended rows to the mutable tail until it reaches
+     * shardRows capacity. Store-backed, a full tail freezes into the
+     * store (compaction + content key + write-through spill) and a
+     * new private tail opens; frozen shards are never touched, which
+     * is the copy-on-append guarantee. Global row ids keep ascending
+     * across the shard boundary.
      */
     void append(const Matrix &keyRows,
                 const Matrix &valueRows) override;
 
-    /** Sum of the shards' preprocessed bytes. */
+    /** Forward a deadline hint to every shard backend. */
+    void queryDeadlineHint(double remainingSeconds) const override;
+
+    /**
+     * Sum of the shards' preprocessed bytes — logical footprint,
+     * counting a shared shard fully (SessionCache's charged-bytes
+     * accounting deduplicates across sessions via the handles).
+     */
     std::size_t memoryBytes() const override;
 
     /** Total rows across the shards. */
@@ -137,8 +178,18 @@ class ShardedBackend final : public AttentionBackend
     /** Inner backend of shard `s` (for tests and introspection). */
     const AttentionBackend &shard(std::size_t s) const;
 
+    /** Refcounted handle of shard `s` (identity = sharing). */
+    const std::shared_ptr<ShardHandle> &
+    shardHandle(std::size_t s) const;
+
     /** Global row id of shard `s`'s first row. */
     std::size_t shardOffset(std::size_t s) const;
+
+    /** Shards the initial bind deduped against live sessions. */
+    std::size_t bindSharedShards() const { return bindShared_; }
+
+    /** Shards the initial bind restored from the spill tier. */
+    std::size_t bindRestoredShards() const { return bindRestored_; }
 
     const ShardedConfig &config() const { return config_; }
 
@@ -158,12 +209,18 @@ class ShardedBackend final : public AttentionBackend
     void mergePartials(const std::vector<PartialResult> &partials,
                        PartialResult &out) const;
 
+    /** Freeze the tail into the store and swap in the canonical
+     *  handle (store-backed mode only). */
+    void freezeTail();
+
     EngineConfig inner_;
     ShardedConfig config_;
-    std::vector<std::unique_ptr<AttentionBackend>> shards_;
+    std::vector<std::shared_ptr<ShardHandle>> shards_;
     /** Global row id of each shard's first row. */
     std::vector<std::size_t> offsets_;
     std::size_t dims_ = 0;
+    std::size_t bindShared_ = 0;
+    std::size_t bindRestored_ = 0;
 };
 
 /**

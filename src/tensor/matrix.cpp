@@ -123,6 +123,14 @@ Matrix::transposed() const
     return out;
 }
 
+std::size_t
+Matrix::shrinkToFit()
+{
+    const std::size_t before = data_.capacity();
+    data_.shrink_to_fit();
+    return (before - data_.capacity()) * sizeof(float);
+}
+
 bool
 Matrix::operator==(const Matrix &other) const
 {

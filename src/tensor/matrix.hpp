@@ -75,6 +75,19 @@ class Matrix
     const std::vector<float> &data() const { return data_; }
     std::vector<float> &data() { return data_; }
 
+    /** Bytes the storage has reserved (>= rows * cols * 4 after
+     *  appendRows growth). */
+    std::size_t capacityBytes() const
+    {
+        return data_.capacity() * sizeof(float);
+    }
+
+    /**
+     * Release slack capacity left behind by appendRows() growth;
+     * returns the bytes reclaimed. Values are untouched.
+     */
+    std::size_t shrinkToFit();
+
     /** Matrix-vector product; `x.size()` must equal cols(). */
     Vector matvec(const Vector &x) const;
 

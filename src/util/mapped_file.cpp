@@ -1,0 +1,79 @@
+#include "util/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace a3 {
+
+MappedFile::~MappedFile()
+{
+    close();
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(other.data_), size_(other.size_), open_(other.open_)
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.open_ = false;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, std::size_t{0});
+        open_ = std::exchange(other.open_, false);
+    }
+    return *this;
+}
+
+bool
+MappedFile::open(const std::string &path)
+{
+    close();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return false;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        // mmap(0) is EINVAL; an empty file is a valid empty mapping.
+        ::close(fd);
+        size_ = 0;
+        open_ = true;
+        return true;
+    }
+    void *mapping =
+        ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping outlives the descriptor either way.
+    ::close(fd);
+    if (mapping == MAP_FAILED)
+        return false;
+    data_ = static_cast<const std::uint8_t *>(mapping);
+    size_ = size;
+    open_ = true;
+    return true;
+}
+
+void
+MappedFile::close()
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+    open_ = false;
+}
+
+}  // namespace a3

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Read-only memory-mapped file (RAII).
+ *
+ * The spill tier's warm-restore path: a serialized shard image is
+ * mapped instead of read, so re-binding a spilled shard costs page
+ * faults on the bytes actually touched rather than an up-front copy
+ * of the whole image. The mapping is private and read-only; the
+ * kernel backs it with the page cache, which is exactly the second
+ * tier of the two-tier cache.
+ */
+
+#ifndef A3_UTIL_MAPPED_FILE_HPP
+#define A3_UTIL_MAPPED_FILE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace a3 {
+
+/** One read-only mmap'ed file; unmapped on destruction. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /**
+     * Map `path` read-only. Returns false (and stays unmapped) when
+     * the file cannot be opened, stat'ed, or mapped — a missing or
+     * concurrently evicted spill image is an expected miss, not an
+     * error. A zero-length file maps successfully with size() == 0.
+     */
+    bool open(const std::string &path);
+
+    /** Unmap; safe to call when not mapped. */
+    void close();
+
+    bool mapped() const { return open_; }
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    bool open_ = false;
+};
+
+}  // namespace a3
+
+#endif  // A3_UTIL_MAPPED_FILE_HPP

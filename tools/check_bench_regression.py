@@ -2,8 +2,8 @@
 """Gate bench JSON metrics against a committed baseline.
 
 Reads the JSON emitted by bench/engine_throughput,
-bench/serving_throughput, bench/overload_fairness, and
-bench/distributed_scaling plus a baseline file (default
+bench/serving_throughput, bench/overload_fairness,
+bench/distributed_scaling, and bench/prefix_sharing plus a baseline file (default
 bench/baselines/ci_baseline.json) describing the metrics to gate,
 and fails (exit 1) when any metric regresses past the tolerance
 factor: for higher-is-better metrics the current value must be at
@@ -51,10 +51,12 @@ Local usage, from the repository root:
     ./build/bench/overload_fairness --rounds 20 > ovl.json
     ./build/bench/distributed_scaling --workers 2 --rows 512 \
         > dst.json
+    ./build/bench/prefix_sharing --repeats 5 --max-rows 1536 \
+        > pfx.json
     python3 tools/check_bench_regression.py \
         --baseline bench/baselines/ci_baseline.json \
         --engine eng.json --serving srv.json --overload ovl.json \
-        --distributed dst.json
+        --distributed dst.json --prefix pfx.json
 """
 
 import argparse
@@ -144,6 +146,8 @@ def main():
                         help="overload_fairness JSON output")
     parser.add_argument("--distributed",
                         help="distributed_scaling JSON output")
+    parser.add_argument("--prefix",
+                        help="prefix_sharing JSON output")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="override the baseline's tolerance")
     args = parser.parse_args()
@@ -161,6 +165,8 @@ def main():
         docs["overload"] = load_json(args.overload)
     if args.distributed:
         docs["distributed"] = load_json(args.distributed)
+    if args.prefix:
+        docs["prefix"] = load_json(args.prefix)
 
     failures = 0
     for metric in baseline["metrics"]:
