@@ -1,0 +1,307 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace a3 {
+
+namespace {
+
+/** FNV-1a over a few integers: stable seed derivation that keeps
+ *  content streams independent of event ordering. */
+std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    const std::uint64_t words[3] = {a, b, c};
+    for (std::uint64_t word : words) {
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (word >> (8 * byte)) & 0xffu;
+            hash *= 0x100000001b3ull;
+        }
+    }
+    return hash;
+}
+
+/** Static per-session plan, fixed before any arrivals are drawn so
+ *  a session looks the same no matter when it first fires. */
+struct SessionPlan
+{
+    SessionStyle style = SessionStyle::Rag;
+    std::uint32_t document = kPrivateDocument;
+    std::uint32_t initialRows = 0;
+    std::uint64_t contentSeed = 0;
+};
+
+std::uint32_t
+sampleBucketRows(const TraceConfig &config, Rng &rng)
+{
+    double total = 0.0;
+    for (const ContextBucket &bucket : config.contextRows)
+        total += bucket.weight;
+    double pick = rng.uniform() * total;
+    for (const ContextBucket &bucket : config.contextRows) {
+        pick -= bucket.weight;
+        if (pick < 0.0)
+            return bucket.rows;
+    }
+    return config.contextRows.back().rows;
+}
+
+void
+validateConfig(const TraceConfig &config)
+{
+    if (config.durationSeconds <= 0.0)
+        fatal("generateTrace: durationSeconds must be positive");
+    if (config.arrivalsPerSecond <= 0.0)
+        fatal("generateTrace: arrivalsPerSecond must be positive");
+    if (config.sessionCount == 0)
+        fatal("generateTrace: sessionCount must be nonzero");
+    if (config.contextRows.empty())
+        fatal("generateTrace: contextRows must be non-empty");
+    for (const ContextBucket &bucket : config.contextRows)
+        if (bucket.rows == 0 || bucket.weight <= 0.0)
+            fatal("generateTrace: contextRows entries need nonzero "
+                  "rows and positive weight");
+    if (config.arrivals == ArrivalProcess::Bursty) {
+        if (config.burstFactor < 1.0)
+            fatal("generateTrace: burstFactor must be >= 1");
+        if (config.burstDutyCycle <= 0.0 ||
+            config.burstDutyCycle >= 1.0)
+            fatal("generateTrace: burstDutyCycle must be in (0,1)");
+        if (config.burstPeriodSeconds <= 0.0)
+            fatal("generateTrace: burstPeriodSeconds must be "
+                  "positive");
+    }
+    if (config.arrivals == ArrivalProcess::Diurnal) {
+        if (config.diurnalAmplitude < 0.0 ||
+            config.diurnalAmplitude >= 1.0)
+            fatal("generateTrace: diurnalAmplitude must be in "
+                  "[0,1)");
+        if (config.diurnalPeriodSeconds <= 0.0)
+            fatal("generateTrace: diurnalPeriodSeconds must be "
+                  "positive");
+    }
+}
+
+}  // namespace
+
+const char *
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+    case ArrivalProcess::Poisson:
+        return "poisson";
+    case ArrivalProcess::Diurnal:
+        return "diurnal";
+    case ArrivalProcess::Bursty:
+        return "bursty";
+    }
+    return "unknown";
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+{
+    if (n == 0)
+        fatal("ZipfSampler: n must be nonzero");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+        cdf_[k] = total;
+    }
+    for (double &value : cdf_)
+        value /= total;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::probability(std::size_t rank) const
+{
+    if (rank >= cdf_.size())
+        return 0.0;
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+double
+arrivalRateAt(const TraceConfig &config, double t)
+{
+    const double mean = config.arrivalsPerSecond;
+    switch (config.arrivals) {
+    case ArrivalProcess::Poisson:
+        return mean;
+    case ArrivalProcess::Diurnal: {
+        const double phase =
+            2.0 * M_PI * t / config.diurnalPeriodSeconds;
+        return mean *
+               (1.0 + config.diurnalAmplitude * std::sin(phase));
+    }
+    case ArrivalProcess::Bursty: {
+        // Baseline rate chosen so the duty-cycle-weighted average
+        // equals the configured mean.
+        const double base =
+            mean / (config.burstDutyCycle * config.burstFactor +
+                    (1.0 - config.burstDutyCycle));
+        const double phase =
+            std::fmod(t, config.burstPeriodSeconds) /
+            config.burstPeriodSeconds;
+        return phase < config.burstDutyCycle
+                   ? base * config.burstFactor
+                   : base;
+    }
+    }
+    return mean;
+}
+
+double
+peakArrivalRate(const TraceConfig &config)
+{
+    switch (config.arrivals) {
+    case ArrivalProcess::Poisson:
+        return config.arrivalsPerSecond;
+    case ArrivalProcess::Diurnal:
+        return config.arrivalsPerSecond *
+               (1.0 + config.diurnalAmplitude);
+    case ArrivalProcess::Bursty:
+        return arrivalRateAt(config, 0.0);
+    }
+    return config.arrivalsPerSecond;
+}
+
+Trace
+generateTrace(const TraceConfig &config)
+{
+    validateConfig(config);
+
+    // Independent streams so changing one aspect of the config
+    // (say, the arrival process) does not reshuffle the others.
+    Rng planRng(mixSeed(config.seed, 0x706c616eull, 0));
+    Rng arrivalRng(mixSeed(config.seed, 0x61727276ull, 0));
+    Rng trafficRng(mixSeed(config.seed, 0x74726166ull, 0));
+
+    // Per-document rows + content: sessions sharing a document bind
+    // byte-identical matrices, which is what the ShardStore dedups.
+    std::vector<std::uint32_t> documentRows(
+        std::max<std::uint32_t>(config.documentCount, 1));
+    for (std::size_t d = 0; d < documentRows.size(); ++d)
+        documentRows[d] = sampleBucketRows(config, planRng);
+
+    ZipfSampler documentZipf(documentRows.size(),
+                             config.documentZipfExponent);
+
+    std::vector<SessionPlan> plans(config.sessionCount);
+    for (std::uint32_t s = 0; s < config.sessionCount; ++s) {
+        SessionPlan &plan = plans[s];
+        const bool rag = config.documentCount > 0 &&
+                         planRng.bernoulli(config.ragFraction);
+        if (rag) {
+            plan.style = SessionStyle::Rag;
+            plan.document = static_cast<std::uint32_t>(
+                documentZipf.sample(planRng));
+            plan.initialRows = documentRows[plan.document];
+            plan.contentSeed =
+                mixSeed(config.seed, 0x646f63ull, plan.document);
+        } else {
+            plan.style = SessionStyle::Chat;
+            plan.document = kPrivateDocument;
+            plan.initialRows = sampleBucketRows(config, planRng);
+            plan.contentSeed = mixSeed(config.seed, 0x63686174ull, s);
+        }
+    }
+
+    // Arrival times via thinning: draw a homogeneous process at the
+    // peak rate, keep each point with probability rate(t)/peak.
+    const double peak = peakArrivalRate(config);
+    std::vector<double> arrivals;
+    arrivals.reserve(static_cast<std::size_t>(
+        config.arrivalsPerSecond * config.durationSeconds * 1.25));
+    double t = 0.0;
+    while (true) {
+        const double u = std::max(arrivalRng.uniform(), 1e-12);
+        t += -std::log(u) / peak;
+        if (t >= config.durationSeconds)
+            break;
+        if (arrivalRng.uniform() * peak <= arrivalRateAt(config, t))
+            arrivals.push_back(t);
+    }
+
+    ZipfSampler sessionZipf(config.sessionCount, config.zipfExponent);
+
+    Trace trace;
+    trace.seed = config.seed;
+    trace.durationSeconds = config.durationSeconds;
+    trace.sessionCount = config.sessionCount;
+    trace.events.reserve(arrivals.size() * 2);
+
+    std::vector<std::uint32_t> queriesSeen(config.sessionCount, 0);
+    std::vector<std::uint32_t> sessionRows(config.sessionCount, 0);
+    std::vector<bool> bound(config.sessionCount, false);
+
+    for (double when : arrivals) {
+        const auto session = static_cast<std::uint32_t>(
+            sessionZipf.sample(trafficRng));
+        const SessionPlan &plan = plans[session];
+
+        if (!bound[session]) {
+            bound[session] = true;
+            sessionRows[session] = plan.initialRows;
+            TraceEvent bind;
+            bind.timeSeconds = when;
+            bind.session = session;
+            bind.kind = TraceEventKind::Bind;
+            bind.style = plan.style;
+            bind.document = plan.document;
+            bind.rows = plan.initialRows;
+            bind.payloadSeed = plan.contentSeed;
+            trace.events.push_back(bind);
+        } else if (plan.style == SessionStyle::Chat &&
+                   config.appendEveryQueries > 0 &&
+                   queriesSeen[session] % config.appendEveryQueries ==
+                       0 &&
+                   (config.maxContextRows == 0 ||
+                    sessionRows[session] + config.appendRows <=
+                        config.maxContextRows)) {
+            sessionRows[session] += config.appendRows;
+            TraceEvent append;
+            append.timeSeconds = when;
+            append.session = session;
+            append.kind = TraceEventKind::Append;
+            append.style = plan.style;
+            append.document = plan.document;
+            append.rows = config.appendRows;
+            append.payloadSeed = plan.contentSeed;
+            trace.events.push_back(append);
+        }
+
+        TraceEvent query;
+        query.timeSeconds = when;
+        query.session = session;
+        query.kind = TraceEventKind::Query;
+        query.style = plan.style;
+        query.document = plan.document;
+        query.payloadSeed = trafficRng();
+        const bool tight =
+            trafficRng.bernoulli(config.tightDeadlineFraction);
+        query.deadlineSeconds = tight ? config.tightDeadlineSeconds
+                                      : config.looseDeadlineSeconds;
+        trace.events.push_back(query);
+        ++queriesSeen[session];
+    }
+
+    return trace;
+}
+
+}  // namespace a3

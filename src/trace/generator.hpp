@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Seeded, deterministic traffic-trace generation.
+ *
+ * generateTrace() turns a TraceConfig into a time-sorted event list
+ * (trace/trace.hpp) with production-shaped structure:
+ *
+ *  - **Session popularity** is Zipf-distributed: a handful of hot
+ *    sessions take most of the queries, with a long tail of
+ *    one-shot sessions — the shape that makes LRU eviction and
+ *    per-session admission caps earn their keep.
+ *  - **Arrivals** follow a Poisson process whose rate is constant,
+ *    diurnally modulated (sinusoid), or bursty (square wave with a
+ *    configurable burst factor), realized by thinning a homogeneous
+ *    process at the peak rate. The configured `arrivalsPerSecond`
+ *    is the *mean* rate in every mode, so scenarios with different
+ *    shapes stay comparable at equal offered load.
+ *  - **Context lengths** mix discrete buckets (e.g. 128 / 1k / 4k
+ *    rows) by weight, so small chats and huge documents share one
+ *    queue.
+ *  - **Session styles** split RAG-like (bind a shared catalog
+ *    document once, query many times) from chat-like (private
+ *    context, appended every few queries).
+ *
+ * Everything derives from TraceConfig::seed through the repo's
+ * xoshiro Rng: the same config produces a bit-identical Trace on
+ * every platform, which is what lets replay metrics be CI-gated.
+ */
+
+#ifndef A3_TRACE_GENERATOR_HPP
+#define A3_TRACE_GENERATOR_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/random.hpp"
+
+namespace a3 {
+
+/** How query arrival times are distributed over the trace. */
+enum class ArrivalProcess : std::uint8_t {
+    /** Homogeneous Poisson arrivals at `arrivalsPerSecond`. */
+    Poisson,
+    /** Poisson with a sinusoidal rate: rate(t) = mean *
+     *  (1 + amplitude * sin(2*pi*t / period)). */
+    Diurnal,
+    /** Square-wave bursts: `burstFactor`x the baseline rate for
+     *  `burstDutyCycle` of every `burstPeriodSeconds`, baseline
+     *  otherwise; the time-averaged rate stays at
+     *  `arrivalsPerSecond`. */
+    Bursty,
+};
+
+/** Stable lowercase name ("poisson", "diurnal", "bursty"). */
+const char *arrivalProcessName(ArrivalProcess process);
+
+/** One context-length choice and its selection weight. */
+struct ContextBucket
+{
+    std::uint32_t rows = 0;
+    double weight = 1.0;
+};
+
+/** Knobs for generateTrace(). Defaults give a small mixed trace. */
+struct TraceConfig
+{
+    /** Master seed; every derived stream forks from it. */
+    std::uint64_t seed = 1;
+
+    /** Virtual trace length in seconds. */
+    double durationSeconds = 30.0;
+
+    /** Mean query arrival rate over the duration (all modes). */
+    double arrivalsPerSecond = 50.0;
+
+    ArrivalProcess arrivals = ArrivalProcess::Poisson;
+
+    /** Bursty: on-window rate multiplier (> 1). */
+    double burstFactor = 4.0;
+
+    /** Bursty: fraction of each period spent at the burst rate. */
+    double burstDutyCycle = 0.25;
+
+    /** Bursty: square-wave period in seconds. */
+    double burstPeriodSeconds = 8.0;
+
+    /** Diurnal: sinusoid period in seconds. */
+    double diurnalPeriodSeconds = 30.0;
+
+    /** Diurnal: modulation depth in [0, 1). */
+    double diurnalAmplitude = 0.8;
+
+    /** Distinct sessions; query traffic is Zipf-skewed over them
+     *  (session 0 hottest). */
+    std::uint32_t sessionCount = 64;
+
+    /** Zipf exponent for session popularity (larger = hotter
+     *  head). */
+    double zipfExponent = 1.1;
+
+    /** Shared RAG document catalog size. */
+    std::uint32_t documentCount = 12;
+
+    /** Zipf exponent for document popularity across RAG
+     *  sessions. */
+    double documentZipfExponent = 1.1;
+
+    /** Fraction of sessions that are RAG-style (rest are chat). */
+    double ragFraction = 0.6;
+
+    /** Chat sessions append once every this many queries. */
+    std::uint32_t appendEveryQueries = 4;
+
+    /** Rows appended per chat append event. */
+    std::uint32_t appendRows = 64;
+
+    /**
+     * Context-window cap: a chat session stops appending once the
+     * next append would push it past this many rows (a serving
+     * system's KV window). 0 = unbounded — beware that unbounded
+     * hot-session growth makes replay cost superlinear in trace
+     * duration.
+     */
+    std::uint32_t maxContextRows = 2048;
+
+    /** Context-length mixture for documents and chat contexts. */
+    std::vector<ContextBucket> contextRows = {
+        {128, 0.6}, {512, 0.3}, {1536, 0.1}};
+
+    /** Fraction of queries carrying the tight deadline. */
+    double tightDeadlineFraction = 0.5;
+
+    /** Virtual-time budget of tight-deadline queries (seconds);
+     *  0 disables. */
+    double tightDeadlineSeconds = 0.2;
+
+    /** Virtual-time budget of the remaining queries; 0 disables. */
+    double looseDeadlineSeconds = 1.0;
+};
+
+/**
+ * Zipf(s) sampler over ranks [0, n) via a precomputed CDF and
+ * binary search: P(rank k) ~ 1 / (k + 1)^s. Deterministic given
+ * the caller's Rng stream.
+ */
+class ZipfSampler
+{
+public:
+    ZipfSampler(std::size_t n, double exponent);
+
+    /** Draw one rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Exact probability mass of `rank`. */
+    double probability(std::size_t rank) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+private:
+    std::vector<double> cdf_;
+};
+
+/**
+ * Instantaneous arrival rate at virtual time `t` (queries/sec)
+ * for the configured process. Exposed so tests can check the
+ * realized arrivals against the intended intensity.
+ */
+double arrivalRateAt(const TraceConfig &config, double t);
+
+/** Peak of arrivalRateAt over the trace (the thinning bound). */
+double peakArrivalRate(const TraceConfig &config);
+
+/**
+ * Generate a trace. Events are sorted by time; each session's Bind
+ * precedes its first Query, and chat appends precede the query
+ * that triggered them. fatal()s on nonsensical configs (empty
+ * bucket list, non-positive rate/duration, zero sessions).
+ */
+Trace generateTrace(const TraceConfig &config);
+
+}  // namespace a3
+
+#endif  // A3_TRACE_GENERATOR_HPP

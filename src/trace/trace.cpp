@@ -1,0 +1,41 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace a3 {
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+    case TraceEventKind::Bind:
+        return "bind";
+    case TraceEventKind::Append:
+        return "append";
+    case TraceEventKind::Query:
+        return "query";
+    }
+    return "unknown";
+}
+
+const char *
+sessionStyleName(SessionStyle style)
+{
+    switch (style) {
+    case SessionStyle::Rag:
+        return "rag";
+    case SessionStyle::Chat:
+        return "chat";
+    }
+    return "unknown";
+}
+
+std::size_t
+Trace::countOf(TraceEventKind kind) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        events.begin(), events.end(),
+        [kind](const TraceEvent &e) { return e.kind == kind; }));
+}
+
+}  // namespace a3

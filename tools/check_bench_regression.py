@@ -3,7 +3,8 @@
 
 Reads the JSON emitted by bench/engine_throughput,
 bench/serving_throughput, bench/overload_fairness,
-bench/distributed_scaling, and bench/prefix_sharing plus a baseline file (default
+bench/distributed_scaling, bench/prefix_sharing, and
+bench/trace_replay plus a baseline file (default
 bench/baselines/ci_baseline.json) describing the metrics to gate,
 and fails (exit 1) when any metric regresses past the tolerance
 factor: for higher-is-better metrics the current value must be at
@@ -53,10 +54,11 @@ Local usage, from the repository root:
         > dst.json
     ./build/bench/prefix_sharing --repeats 5 --max-rows 1536 \
         > pfx.json
+    ./build/bench/trace_replay --duration 20 > trc.json
     python3 tools/check_bench_regression.py \
         --baseline bench/baselines/ci_baseline.json \
         --engine eng.json --serving srv.json --overload ovl.json \
-        --distributed dst.json --prefix pfx.json
+        --distributed dst.json --prefix pfx.json --trace trc.json
 """
 
 import argparse
@@ -148,6 +150,8 @@ def main():
                         help="distributed_scaling JSON output")
     parser.add_argument("--prefix",
                         help="prefix_sharing JSON output")
+    parser.add_argument("--trace",
+                        help="trace_replay JSON output")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="override the baseline's tolerance")
     args = parser.parse_args()
@@ -167,6 +171,8 @@ def main():
         docs["distributed"] = load_json(args.distributed)
     if args.prefix:
         docs["prefix"] = load_json(args.prefix)
+    if args.trace:
+        docs["trace"] = load_json(args.trace)
 
     failures = 0
     for metric in baseline["metrics"]:

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check that in-repo markdown links resolve.
+
+Walks every tracked *.md file (or the files given on the command
+line), extracts inline links and images ([text](target)), and fails
+(exit 1) when a relative target does not exist on disk. External
+links (http/https/mailto) are not fetched — CI must not depend on
+network weather — and pure intra-document anchors (#section) are
+skipped; a relative target's own "#fragment" suffix is stripped
+before the existence check.
+
+Usage, from the repository root:
+
+    python3 tools/check_markdown_links.py            # all *.md
+    python3 tools/check_markdown_links.py README.md docs/*.md
+"""
+
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) and ![alt](target). Targets
+# with spaces are not used in this repo; <>-wrapped targets are.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(<?([^)<>\s]+)>?\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    found = []
+    for base, dirs, names in os.walk(root):
+        dirs[:] = [d for d in dirs
+                   if d not in (".git", "build", ".github")]
+        for name in names:
+            if name.endswith(".md"):
+                found.append(os.path.join(base, name))
+    return sorted(found)
+
+
+def check_file(path):
+    broken = []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    # Fenced code blocks contain example links that need not
+    # resolve; drop them before extracting targets.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main():
+    paths = sys.argv[1:] or markdown_files(".")
+    failures = 0
+    for path in paths:
+        for target, resolved in check_file(path):
+            print("FAIL %s: link %r -> missing %s"
+                  % (path, target, resolved))
+            failures += 1
+    if failures:
+        print("\n%d broken in-repo link(s)" % failures)
+        return 1
+    print("all in-repo markdown links resolve (%d file(s))"
+          % len(paths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
